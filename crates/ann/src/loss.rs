@@ -1,0 +1,180 @@
+//! Classification loss: numerically stable softmax + cross-entropy.
+
+use crate::matrix::Matrix;
+
+/// Applies a numerically stable softmax to each row of `logits` in place.
+pub fn softmax_rows(logits: &mut Matrix) {
+    for i in 0..logits.rows() {
+        let row = logits.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Mean cross-entropy of softmax(`logits`) against integer `labels`, and
+/// the gradient w.r.t. the logits (`(softmax - onehot) / batch`).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row required");
+    let mut probs = logits.clone();
+    softmax_rows(&mut probs);
+    let batch = logits.rows() as f32;
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let p = probs.get(i, label).max(1e-12);
+        loss -= p.ln();
+        // grad = (p - onehot)/batch, computed in place on the probs copy.
+        let row = probs.row_mut(i);
+        for v in row.iter_mut() {
+            *v /= batch;
+        }
+        row[label] -= 1.0 / batch;
+    }
+    (loss / batch, probs)
+}
+
+/// Mean squared error between `pred` and `target`, and its gradient
+/// (`2 (pred - target) / n_elements`). Provided for regression-style
+/// extensions and gradient-check tests.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.rows());
+    assert_eq!(pred.cols(), target.cols());
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f32;
+    for i in 0..pred.rows() {
+        for j in 0..pred.cols() {
+            let d = pred.get(i, j) - target.get(i, j);
+            loss += d * d;
+            grad.set(i, j, 2.0 * d / n);
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        softmax_rows(&mut m);
+        for i in 0..2 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(m.row(i).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut b = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        for j in 0..3 {
+            assert!((a.get(0, j) - b.get(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut m = Matrix::from_rows(&[&[1000.0, 0.0]]);
+        softmax_rows(&mut m);
+        assert!(m.get(0, 0).is_finite());
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_k() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0, 0.0, 0.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.3, -1.0, 2.0], &[0.0, 0.1, 0.2]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6, "row {i} grad sum {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let pred = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// The analytic logits gradient matches a central finite difference.
+        #[test]
+        fn cross_entropy_gradient_check(
+            vals in proptest::collection::vec(-2.0f32..2.0, 6),
+            label_a in 0usize..3,
+            label_b in 0usize..3,
+        ) {
+            let logits = Matrix::from_vec(2, 3, vals.clone());
+            let labels = [label_a, label_b];
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            let h = 1e-2f32;
+            for i in 0..2 {
+                for j in 0..3 {
+                    let mut plus = logits.clone();
+                    plus.set(i, j, plus.get(i, j) + h);
+                    let mut minus = logits.clone();
+                    minus.set(i, j, minus.get(i, j) - h);
+                    let (lp, _) = softmax_cross_entropy(&plus, &labels);
+                    let (lm, _) = softmax_cross_entropy(&minus, &labels);
+                    let numeric = (lp - lm) / (2.0 * h);
+                    prop_assert!(
+                        (numeric - grad.get(i, j)).abs() < 5e-3,
+                        "d logits[{i},{j}]: numeric {numeric} vs analytic {}",
+                        grad.get(i, j)
+                    );
+                }
+            }
+        }
+
+        /// Loss is non-negative for any logits.
+        #[test]
+        fn loss_non_negative(vals in proptest::collection::vec(-10.0f32..10.0, 4), label in 0usize..4) {
+            let logits = Matrix::from_vec(1, 4, vals);
+            let (loss, _) = softmax_cross_entropy(&logits, &[label]);
+            prop_assert!(loss >= 0.0);
+        }
+    }
+}

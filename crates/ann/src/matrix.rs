@@ -1,0 +1,331 @@
+//! A minimal row-major `f32` matrix with the product kernels backprop
+//! needs.
+//!
+//! The matrices involved here are tiny (the paper's net is 9 × 64 × 42),
+//! so the kernels favour clarity and cache-friendly i-k-j loop order over
+//! blocking or SIMD intrinsics; the compiler auto-vectorizes the inner
+//! loops.
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds from row slices (all rows must share a length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input or zero rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Copies the given rows into a new matrix (used for minibatching).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// `self × other` — shapes `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue; // common after ReLU
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` — shapes `[k,m]ᵀ × [k,n] → [m,n]` without
+    /// materializing the transpose. This is the weight-gradient kernel
+    /// (`xᵀ × delta`).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` — shapes `[m,k] × [n,k]ᵀ → [m,n]` without
+    /// materializing the transpose. This is the delta-propagation kernel
+    /// (`delta × wᵀ`).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, _k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = other.row(j);
+                *o = a_row.iter().zip(b_row.iter()).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Adds `row` to every row of `self` (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast width mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(row.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums each column into a vector (bias-gradient kernel).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: &Matrix, b: &Matrix, eps: f32) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= eps)
+    }
+
+    #[test]
+    fn constructors_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        let z = Matrix::zeros(2, 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f32);
+        assert_eq!(f.get(1, 1), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data length mismatch")]
+    fn from_vec_validates_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_validates_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(m.column_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_elements() {
+        let mut m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        m.scale(0.5);
+        assert_eq!(m.as_slice(), &[0.5, -1.0]);
+    }
+
+    #[test]
+    fn gather_rows_copies_selected() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_rows(&[&[3.0], &[1.0], &[3.0]]));
+    }
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-3.0f32..3.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    proptest! {
+        /// t_matmul(a, b) equals transpose(a).matmul(b).
+        #[test]
+        fn t_matmul_matches_explicit_transpose(a in arb_matrix(4, 3), b in arb_matrix(4, 5)) {
+            let at = Matrix::from_fn(3, 4, |i, j| a.get(j, i));
+            prop_assert!(approx(&a.t_matmul(&b), &at.matmul(&b), 1e-4));
+        }
+
+        /// matmul_t(a, b) equals a.matmul(transpose(b)).
+        #[test]
+        fn matmul_t_matches_explicit_transpose(a in arb_matrix(4, 3), b in arb_matrix(5, 3)) {
+            let bt = Matrix::from_fn(3, 5, |i, j| b.get(j, i));
+            prop_assert!(approx(&a.matmul_t(&b), &a.matmul(&bt), 1e-4));
+        }
+
+        /// (a·b)·c == a·(b·c) within float tolerance.
+        #[test]
+        fn matmul_associative(a in arb_matrix(2, 3), b in arb_matrix(3, 4), c in arb_matrix(4, 2)) {
+            let l = a.matmul(&b).matmul(&c);
+            let r = a.matmul(&b.matmul(&c));
+            prop_assert!(approx(&l, &r, 1e-3));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Learning-rate schedules and training-control extensions.
+//!
+//! The paper trains with constant learning rates; these utilities support
+//! the natural follow-up ablations (does a decayed rate close the SGD /
+//! Adam gap? does early stopping prevent the overfitting the paper notes
+//! for plain SGD?). They compose with any [`crate::optimizer::Optimizer`]
+//! through [`Scheduled`], which scales the inner optimizer's update by
+//! the schedule's factor for the current epoch.
+
+use crate::optimizer::Optimizer;
+
+/// A learning-rate multiplier as a function of the epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant factor 1.0 (the paper's setting).
+    Constant,
+    /// Multiply by `gamma` every `every` epochs (`gamma` in (0,1]).
+    Step {
+        /// Epochs between decays.
+        every: usize,
+        /// Decay factor per step.
+        gamma: f64,
+    },
+    /// Cosine annealing from 1.0 down to `floor` over `total` epochs.
+    Cosine {
+        /// Epoch count of one annealing cycle.
+        total: usize,
+        /// Final multiplier.
+        floor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => {
+                let steps = epoch.checked_div(every).unwrap_or(0);
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                if total == 0 {
+                    return 1.0;
+                }
+                let t = (epoch.min(total) as f64) / (total as f64);
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * t).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+}
+
+/// Wraps an optimizer with a schedule and optional decoupled weight decay
+/// (AdamW-style: `p -= decay * lr_factor * p` before the inner update).
+pub struct Scheduled<O: Optimizer> {
+    inner: O,
+    schedule: LrSchedule,
+    weight_decay: f32,
+    epoch: usize,
+}
+
+impl<O: Optimizer> Scheduled<O> {
+    /// Wraps `inner` with `schedule` and no weight decay.
+    pub fn new(inner: O, schedule: LrSchedule) -> Self {
+        Self {
+            inner,
+            schedule,
+            weight_decay: 0.0,
+            epoch: 0,
+        }
+    }
+
+    /// Adds decoupled weight decay (applied to weights on every update).
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0,1)");
+        self.weight_decay = decay;
+        self
+    }
+
+    /// Advances to the next epoch (call once per epoch, e.g. from the
+    /// trainer's `on_epoch_end`).
+    pub fn step_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current epoch (0-based).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Current learning-rate factor.
+    pub fn current_factor(&self) -> f64 {
+        self.schedule.factor(self.epoch)
+    }
+}
+
+impl<O: Optimizer> Optimizer for Scheduled<O> {
+    fn update(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        let factor = self.current_factor() as f32;
+        if self.weight_decay > 0.0 {
+            let shrink = 1.0 - self.weight_decay * factor;
+            for p in params.iter_mut() {
+                *p *= shrink;
+            }
+        }
+        if (factor - 1.0).abs() < f32::EPSILON {
+            self.inner.update(slot, params, grads);
+        } else {
+            // Scale gradients so the inner rule sees an effective lr of
+            // base_lr * factor. Exact for SGD/momentum; for adaptive rules
+            // this scales the step like torch's LambdaLR does.
+            let scaled: Vec<f32> = grads.iter().map(|&g| g * factor).collect();
+            self.inner.update(slot, params, &scaled);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Early-stopping monitor over a validation metric (higher = better).
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// Stops after `patience` epochs without an improvement of at least
+    /// `min_delta`.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f32::NEG_INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Feeds one epoch's validation metric; returns `true` when training
+    /// should stop.
+    pub fn observe(&mut self, metric: f32) -> bool {
+        if metric > self.best + self.min_delta {
+            self.best = metric;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale > self.patience
+    }
+
+    /// Best metric seen so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+
+    #[test]
+    fn constant_schedule_is_identity() {
+        for e in [0, 1, 57, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_schedule_decays_at_boundaries() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-9);
+        assert!((s.factor(100) - 0.1).abs() < 1e-9);
+        assert!((s.factor(200) - 0.1).abs() < 1e-9, "clamps past the cycle");
+        // Midpoint is halfway between floor and 1.
+        assert!((s.factor(50) - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { total: 50, floor: 0.0 };
+        let factors: Vec<f64> = (0..=50).map(|e| s.factor(e)).collect();
+        assert!(factors.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn scheduled_sgd_scales_steps() {
+        let mut opt = Scheduled::new(Sgd::new(1.0), LrSchedule::Step { every: 1, gamma: 0.5 });
+        let mut p = vec![0.0f32];
+        opt.update(0, &mut p, &[1.0]);
+        assert!((p[0] + 1.0).abs() < 1e-6, "epoch 0: full step");
+        opt.step_epoch();
+        opt.update(0, &mut p, &[1.0]);
+        assert!((p[0] + 1.5).abs() < 1e-6, "epoch 1: half step");
+        assert_eq!(opt.epoch(), 1);
+        assert!((opt.current_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Scheduled::new(Sgd::new(0.0), LrSchedule::Constant).with_weight_decay(0.1);
+        let mut p = vec![10.0f32];
+        opt.update(0, &mut p, &[0.0]);
+        assert!((p[0] - 9.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn invalid_decay_panics() {
+        let _ = Scheduled::new(Sgd::new(0.1), LrSchedule::Constant).with_weight_decay(1.5);
+    }
+
+    #[test]
+    fn scheduled_name_passes_through() {
+        let opt = Scheduled::new(Sgd::new(0.1), LrSchedule::Constant);
+        assert_eq!(opt.name(), "SGD");
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.observe(0.5));
+        assert!(!es.observe(0.6)); // improvement
+        assert!(!es.observe(0.6)); // stale 1
+        assert!(!es.observe(0.59)); // stale 2
+        assert!(es.observe(0.58)); // stale 3 > patience 2
+        assert_eq!(es.best(), 0.6);
+    }
+
+    #[test]
+    fn early_stopping_min_delta_filters_noise() {
+        let mut es = EarlyStopping::new(1, 0.05);
+        assert!(!es.observe(0.50));
+        assert!(!es.observe(0.52)); // +0.02 < min_delta → stale 1
+        assert!(es.observe(0.54)); // still < 0.50+0.05 → stale 2 > patience
+    }
+}

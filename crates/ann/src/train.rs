@@ -1,0 +1,207 @@
+//! Minibatch training loop.
+//!
+//! One *iteration* in the paper's Figure 4 sense is one epoch over the
+//! (shuffled) training set; the curves record training loss and held-out
+//! test accuracy per iteration, and Table III additionally records wall
+//! training time, so [`TrainHistory`] captures all three.
+
+use crate::data::Dataset;
+use crate::metrics::accuracy;
+use crate::network::Network;
+use crate::optimizer::Optimizer;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Per-iteration training record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainHistory {
+    /// Mean training loss of each epoch.
+    pub loss: Vec<f32>,
+    /// Test-set accuracy after each epoch (empty when no test set given).
+    pub test_accuracy: Vec<f32>,
+    /// Wall-clock time spent inside `fit`.
+    pub wall_time: Duration,
+}
+
+impl TrainHistory {
+    /// Final training loss (NaN when never trained).
+    pub fn final_loss(&self) -> f32 {
+        self.loss.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Final test accuracy (NaN when never evaluated).
+    pub fn final_accuracy(&self) -> f32 {
+        self.test_accuracy.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Epoch/batch configuration for [`Trainer::fit`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Number of epochs ("iterations" in the paper).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Seed for the per-epoch shuffles.
+    pub seed: u64,
+}
+
+impl Trainer {
+    /// A trainer with the given epoch count, batch size, and shuffle seed.
+    pub fn new(epochs: usize, batch_size: usize, seed: u64) -> Self {
+        Self {
+            epochs,
+            batch_size,
+            seed,
+        }
+    }
+
+    /// The paper's setting: 200 iterations; minibatches of 32.
+    pub fn paper() -> Self {
+        Self::new(200, 32, 0x55d0)
+    }
+
+    /// Trains `net` on `train`, evaluating on `test` after each epoch when
+    /// provided. Returns the history.
+    pub fn fit(
+        &mut self,
+        net: &mut Network,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        opt: &mut dyn Optimizer,
+    ) -> TrainHistory {
+        assert_eq!(
+            train.feature_width(),
+            net.input_width(),
+            "dataset feature width must match the network input"
+        );
+        let start = Instant::now();
+        let mut history = TrainHistory::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        for _epoch in 0..self.epochs {
+            let shuffled = train.shuffled(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for (x, labels) in shuffled.batches(self.batch_size) {
+                let (loss, grads) = net.loss_and_grads(&x, labels);
+                epoch_loss += loss as f64;
+                batches += 1;
+                for (li, g) in grads.iter().enumerate() {
+                    let (w, b) = net.params_mut(li);
+                    opt.update(li * 2, w.as_mut_slice(), g.w.as_slice());
+                    opt.update(li * 2 + 1, b.as_mut_slice(), &g.b);
+                }
+            }
+            history
+                .loss
+                .push(if batches == 0 { 0.0 } else { (epoch_loss / batches as f64) as f32 });
+            if let Some(test) = test {
+                history.test_accuracy.push(accuracy(net, test));
+            }
+        }
+        history.wall_time = start.elapsed();
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::matrix::Matrix;
+    use crate::optimizer::{Adam, Momentum, Sgd};
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blobs(n: usize) -> Dataset {
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (u32::MAX as f32)) - 0.5
+        };
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -1.0 } else { 1.0 };
+            rows.push([cx + 0.3 * next(), cx + 0.3 * next()]);
+            labels.push(class);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs), labels, 2).unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let data = blobs(200);
+        let (train, test) = data.split(0.7);
+        let mut net = Network::builder(2, 5).hidden(8, Activation::ReLU).output(2).build();
+        let mut opt = Adam::new(0.05);
+        let mut trainer = Trainer::new(30, 16, 1);
+        let history = trainer.fit(&mut net, &train, Some(&test), &mut opt);
+        assert_eq!(history.loss.len(), 30);
+        assert_eq!(history.test_accuracy.len(), 30);
+        assert!(history.final_loss() < history.loss[0] * 0.5, "{:?}", history.loss);
+        assert!(history.final_accuracy() > 0.95);
+        assert!(history.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn sgd_and_momentum_also_learn_blobs() {
+        let data = blobs(200);
+        let (train, test) = data.split(0.7);
+        for opt in [&mut Sgd::new(0.2) as &mut dyn Optimizer, &mut Momentum::new(0.2, 0.9)] {
+            let mut net = Network::builder(2, 5).hidden(8, Activation::Logistic).output(2).build();
+            let mut trainer = Trainer::new(40, 16, 1);
+            let history = trainer.fit(&mut net, &train, Some(&test), opt);
+            assert!(
+                history.final_accuracy() > 0.9,
+                "{} only reached {}",
+                opt.name(),
+                history.final_accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn fit_without_test_set_skips_accuracy() {
+        let data = blobs(40);
+        let mut net = Network::builder(2, 5).hidden(4, Activation::Tanh).output(2).build();
+        let mut opt = Sgd::new(0.1);
+        let history = Trainer::new(3, 8, 1).fit(&mut net, &data, None, &mut opt);
+        assert_eq!(history.loss.len(), 3);
+        assert!(history.test_accuracy.is_empty());
+        assert!(history.final_accuracy().is_nan());
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = TrainHistory::default();
+        assert!(h.final_loss().is_nan());
+        assert!(h.final_accuracy().is_nan());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let data = blobs(80);
+        let run = || {
+            let mut net = Network::builder(2, 5).hidden(4, Activation::ReLU).output(2).build();
+            let mut opt = Adam::new(0.02);
+            let h = Trainer::new(5, 8, 7).fit(&mut net, &data, None, &mut opt);
+            (net, h.loss)
+        };
+        let (na, la) = run();
+        let (nb, lb) = run();
+        assert_eq!(na, nb);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn fit_rejects_mismatched_width() {
+        let data = blobs(10);
+        let mut net = Network::builder(3, 5).hidden(4, Activation::ReLU).output(2).build();
+        let mut opt = Sgd::new(0.1);
+        let _ = Trainer::new(1, 4, 1).fit(&mut net, &data, None, &mut opt);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 4 / Table III bench: one training epoch of the 9→64→42 network
+//! under each optimizer configuration the paper sweeps.
+//!
+//! Table III reports absolute training times; these benches give the
+//! per-epoch cost on this machine for the same four configurations (plus
+//! the AdaGrad/RMSProp components as ablations).
+
+use bench::tiny_dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+
+fn training_epoch(c: &mut Criterion) {
+    let dataset = tiny_dataset();
+    let learner = Learner::new(DatasetSpec::quick(1));
+    let mut group = c.benchmark_group("fig4_training_epoch");
+    group.sample_size(20);
+    let choices = [
+        OptimizerChoice::Sgd,
+        OptimizerChoice::SgdMomentum,
+        OptimizerChoice::AdamRelu,
+        OptimizerChoice::AdamLogistic,
+        OptimizerChoice::AdaGrad,
+        OptimizerChoice::RmsProp,
+    ];
+    for choice in choices {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(choice.name()),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| learner.train_with(dataset, choice, 1, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn full_200_iteration_fit(c: &mut Criterion) {
+    // The paper's Table III measures a full 200-iteration fit; bench the
+    // best configuration end to end on the tiny dataset.
+    let dataset = tiny_dataset();
+    let learner = Learner::new(DatasetSpec::quick(1));
+    let mut group = c.benchmark_group("fig4_full_fit");
+    group.sample_size(10);
+    group.bench_function("adam_logistic_200_iters", |b| {
+        b.iter(|| learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 200, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, training_epoch, full_200_iteration_fit);
+criterion_main!(benches);

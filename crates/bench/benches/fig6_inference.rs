@@ -1,0 +1,47 @@
+//! Figure 6 / §IV-D bench: channel-allocator inference cost.
+//!
+//! The paper argues the allocator's overhead is negligible
+//! (`Σ Nᵢ·Nᵢ₊₁ = 3264` multiplications per decision); this bench measures
+//! the actual per-decision wall time of the 9→64→42 forward pass, plus
+//! the cost of assembling the feature vector from window observations.
+
+use bench::{bench_allocator, bench_features};
+use criterion::{criterion_group, criterion_main, Criterion};
+use flash_sim::{IoRequest, Op};
+use ssdkeeper::FeatureVector;
+use workloads::{IntensityScale, ObservedFeatures};
+
+fn inference(c: &mut Criterion) {
+    let allocator = bench_allocator();
+    let features = bench_features();
+    let mut group = c.benchmark_group("fig6_inference");
+    group.bench_function("predict_strategy", |b| {
+        b.iter(|| allocator.predict(criterion::black_box(&features)))
+    });
+    group.bench_function("predict_proba", |b| {
+        b.iter(|| allocator.predict_proba(criterion::black_box(&features)))
+    });
+    group.finish();
+}
+
+fn feature_collection(c: &mut Criterion) {
+    // A 10k-request observation window.
+    let trace: Vec<IoRequest> = (0..10_000)
+        .map(|i| {
+            let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+            IoRequest::new(i, (i % 4) as u16, op, i % 1024, 1, i * 1_000)
+        })
+        .collect();
+    let scale = IntensityScale::new(10_000.0);
+    let mut group = c.benchmark_group("features_collector");
+    group.bench_function("collect_10k_window", |b| {
+        b.iter(|| {
+            let obs = ObservedFeatures::collect(&trace, 4, u64::MAX);
+            FeatureVector::from_observed(&obs, &scale)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference, feature_collection);
+criterion_main!(benches);

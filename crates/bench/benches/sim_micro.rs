@@ -1,0 +1,87 @@
+//! Simulator micro-benchmarks: event-processing throughput, allocation
+//! policies, FTL write path, and trace codec.
+
+use bench::bench_ssd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flash_sim::ftl::Ftl;
+use flash_sim::trace::{decode_trace, encode_trace};
+use flash_sim::{IoRequest, Op, PageAllocPolicy, Simulator, TenantLayout};
+
+fn sequential_write_trace(n: u64) -> Vec<IoRequest> {
+    (0..n)
+        .map(|i| IoRequest::new(i, 0, Op::Write, i % 1024, 1, i * 12_000))
+        .collect()
+}
+
+fn mixed_trace(n: u64) -> Vec<IoRequest> {
+    (0..n)
+        .map(|i| {
+            let op = if i % 4 == 0 { Op::Write } else { Op::Read };
+            IoRequest::new(i, (i % 2) as u16, op, (i * 13) % 1024, 1 + (i % 3) as u32, i * 9_000)
+        })
+        .collect()
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &n in &[2_000u64, 10_000] {
+        let trace = mixed_trace(n);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("mixed_requests", n), &trace, |b, trace| {
+            b.iter(|| {
+                let cfg = bench_ssd();
+                let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 10);
+                Simulator::new(cfg, layout).unwrap().run(trace).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn allocation_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_allocation");
+    group.sample_size(20);
+    for policy in [PageAllocPolicy::Static, PageAllocPolicy::Dynamic] {
+        let trace = sequential_write_trace(5_000);
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &trace, |b, trace| {
+            b.iter(|| {
+                let cfg = bench_ssd();
+                let layout = TenantLayout::shared(1, &cfg)
+                    .with_lpn_space_all(1 << 10)
+                    .with_policy(0, policy);
+                Simulator::new(cfg, layout).unwrap().run(trace).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ftl_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("page_writes_with_gc", |b| {
+        let cfg = bench_ssd();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(1 << 10);
+        b.iter(|| {
+            let mut ftl = Ftl::new(&cfg, &layout);
+            for i in 0..10_000u64 {
+                ftl.write(0, i % 1024, (i % 64) as usize).unwrap();
+            }
+            ftl.stats()
+        })
+    });
+    group.finish();
+}
+
+fn trace_codec(c: &mut Criterion) {
+    let trace = mixed_trace(10_000);
+    let encoded = encode_trace(&trace);
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("encode", |b| b.iter(|| encode_trace(&trace)));
+    group.bench_function("decode", |b| b.iter(|| decode_trace(encoded.clone()).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, allocation_policies, ftl_write_path, trace_codec);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Quantifies §III's access conflicts: waiting share of command time per
+//! strategy on a two-tenant mix, from the simulator's phase breakdown.
+//!
+//! ```text
+//! cargo run --release -p exp --bin conflicts [--requests 20000] [--write-pct 30]
+//! ```
+
+use exp::args::Args;
+use exp::conflict::{render, run, ConflictConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = ConflictConfig {
+        requests: args.get("requests", 20_000),
+        total_iops: args.get("iops", 70_000.0),
+        write_fraction: args.get("write-pct", 30.0f64) / 100.0,
+        seed: args.get("seed", 33),
+        ..ConflictConfig::default()
+    };
+    let rows = run(&cfg);
+    println!("{}", render(&rows, &cfg));
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 2: two-tenant write/read/total latency vs write
+//! proportion under all 8 strategies.
+//!
+//! ```text
+//! cargo run --release -p exp --bin fig2 [--requests 20000] [--iops 60000] [--workers N]
+//! ```
+
+use exp::args::Args;
+use exp::fig2::{print_report, run, Fig2Config};
+use parallel::PoolConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig2Config::default();
+    cfg.requests = args.get("requests", cfg.requests);
+    cfg.total_iops = args.get("iops", cfg.total_iops);
+    cfg.seed = args.get("seed", cfg.seed);
+    if let Some(w) = args.get_opt("workers") {
+        cfg.pool = PoolConfig::with_workers(w.parse().expect("--workers expects a number"));
+    }
+    if args.has("quick") {
+        cfg.requests = cfg.requests.min(5_000);
+    }
+    eprintln!(
+        "fig2: {} requests/point, {:.0} total IOPS, sweeping write proportion 10-90%...",
+        cfg.requests, cfg.total_iops
+    );
+    let points = run(&cfg);
+    print_report(&points);
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 4 (loss/accuracy curves) and Table III (final
+//! loss, accuracy, training time) across the four optimizer
+//! configurations, and saves the best model.
+//!
+//! ```text
+//! cargo run --release -p exp --bin fig4 [--dataset artifacts/dataset.txt] \
+//!     [--samples 400] [--epochs 200] [--model-out artifacts/model.txt]
+//! ```
+//!
+//! Without `--dataset`, a dataset of `--samples` workloads is generated
+//! on the fly.
+
+use exp::args::Args;
+use exp::{artifact_path, fig4};
+use ssdkeeper::learner::{DatasetSpec, LabelledDataset, Learner};
+
+fn main() {
+    let args = Args::from_env();
+    let epochs = args.get("epochs", 200usize);
+    let seed = args.get("seed", 1u64);
+
+    let dataset = match args.get_opt("dataset") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("read dataset file");
+            LabelledDataset::from_text(&text).expect("parse dataset file")
+        }
+        None => {
+            let mut spec = DatasetSpec::quick(args.get("samples", 400));
+            if args.has("quick") {
+                spec.samples = spec.samples.min(64);
+                spec.requests_per_sample = 1_000;
+            }
+            eprintln!("fig4: no --dataset given; labelling {} workloads first...", spec.samples);
+            Learner::new(spec).generate_dataset(seed)
+        }
+    };
+    eprintln!(
+        "fig4: training 4 optimizer configurations for {epochs} iterations on {} samples (7:3 split)...",
+        dataset.samples.len()
+    );
+
+    let results = fig4::run(&dataset, epochs, seed);
+    println!("{}", fig4::render_curves(&results, (epochs / 10).max(1)));
+    println!("{}", fig4::render_table3(&results, &dataset));
+
+    let best = fig4::best(&results, &dataset);
+    println!(
+        "best configuration: {} at {:.1}% test accuracy (paper: Adam-logistic, 94.5%)",
+        best.choice.name(),
+        best.model.history.final_accuracy() * 100.0
+    );
+
+    let model_out = args.get_str("model-out", artifact_path("model.txt").to_str().unwrap());
+    ssdkeeper::model_io::save_model(&best.model, &model_out).expect("save model");
+    println!(
+        "saved best model to {model_out} (max_total_iops calibration: {})",
+        best.model.max_total_iops
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates Tables IV/V and Figure 5: the Mix1–Mix4 evaluation with
+//! Shared / Isolated / SSDKeeper (± hybrid page allocation), plus the
+//! §V-C improvement summary.
+//!
+//! ```text
+//! cargo run --release -p exp --bin fig5 [--model artifacts/model.txt --max-iops 120000] \
+//!     [--samples 400] [--requests 100000] [--epochs 200]
+//! ```
+//!
+//! Without `--model`, a model is trained first (Adam-logistic, the
+//! paper's best configuration).
+
+use exp::args::Args;
+use exp::fig5::{render_fig5, render_summary, render_tables45, run, Fig5Config};
+use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper::ChannelAllocator;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig5Config::default();
+    cfg.requests = args.get("requests", cfg.requests);
+    cfg.max_total_iops = args.get("max-iops", cfg.max_total_iops);
+    cfg.seed = args.get("seed", cfg.seed);
+    if args.has("quick") {
+        cfg.requests = cfg.requests.min(10_000);
+    }
+
+    let allocator = match args.get_opt("model") {
+        Some(path) => match ssdkeeper::model_io::load_allocator(path) {
+            Ok(allocator) => allocator,
+            Err(_) => {
+                // Legacy raw ann file: calibration comes from --max-iops.
+                let net = ann::io::load_network(path).expect("load model file");
+                ChannelAllocator::new(net, args.get("max-iops", 120_000.0f64))
+            }
+        },
+        None => {
+            let mut spec = DatasetSpec::quick(args.get("samples", 400));
+            if args.has("quick") {
+                spec.samples = spec.samples.min(64);
+                spec.requests_per_sample = 1_000;
+            }
+            let epochs = args.get("epochs", 200usize);
+            eprintln!(
+                "fig5: no --model given; labelling {} workloads and training Adam-logistic for {} iterations...",
+                spec.samples, epochs
+            );
+            let learner = Learner::new(spec);
+            let dataset = learner.generate_dataset(args.get("seed", 1u64));
+            let model = learner.train_with(&dataset, OptimizerChoice::AdamLogistic, epochs, 1);
+            eprintln!(
+                "trained: final test accuracy {:.1}%",
+                model.history.final_accuracy() * 100.0
+            );
+            model.allocator()
+        }
+    };
+
+    eprintln!("fig5: running Mix1-4 x {{Shared, Isolated, SSDKeeper, SSDKeeper+hybrid}} at {} requests each...", cfg.requests);
+    let results = run(&cfg, &allocator);
+    println!("{}", render_tables45(&results));
+    println!("{}", render_fig5(&results));
+    println!("{}", render_summary(&results));
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 6: the map of chosen strategies over the
+//! (intensity level, total write proportion) plane.
+//!
+//! ```text
+//! cargo run --release -p exp --bin fig6 [--model artifacts/model.txt --max-iops 120000] \
+//!     [--samples 400] [--per-level 200]
+//! ```
+
+use exp::args::Args;
+use exp::fig6::{distinct_strategies, render, run};
+use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper::ChannelAllocator;
+
+fn main() {
+    let args = Args::from_env();
+    let per_level = args.get("per-level", 200usize);
+
+    let allocator = match args.get_opt("model") {
+        Some(path) => match ssdkeeper::model_io::load_allocator(path) {
+            Ok(allocator) => allocator,
+            Err(_) => {
+                // Legacy raw ann file: calibration comes from --max-iops.
+                let net = ann::io::load_network(path).expect("load model file");
+                ChannelAllocator::new(net, args.get("max-iops", 120_000.0f64))
+            }
+        },
+        None => {
+            let mut spec = DatasetSpec::quick(args.get("samples", 400));
+            if args.has("quick") {
+                spec.samples = spec.samples.min(64);
+                spec.requests_per_sample = 1_000;
+            }
+            eprintln!(
+                "fig6: no --model given; labelling {} workloads and training Adam-logistic...",
+                spec.samples
+            );
+            let learner = Learner::new(spec);
+            let dataset = learner.generate_dataset(args.get("seed", 1u64));
+            let model = learner.train_with(
+                &dataset,
+                OptimizerChoice::AdamLogistic,
+                args.get("epochs", 200usize),
+                1,
+            );
+            eprintln!(
+                "trained: final test accuracy {:.1}%",
+                model.history.final_accuracy() * 100.0
+            );
+            model.allocator()
+        }
+    };
+
+    let map = run(&allocator, per_level, args.get("seed", 6u64));
+    println!("{}", render(&map));
+    println!(
+        "distinct strategies on the map: {} (the paper's point: no single strategy fits all patterns)",
+        distinct_strategies(&map)
+    );
+}

@@ -1,0 +1,111 @@
+//! Decision-quality report for a trained strategy model: regret
+//! distribution, accuracy by intensity level, family confusion, and an
+//! optional dataset-size ablation ("how much labelled data does
+//! SSDKeeper need?").
+//!
+//! ```text
+//! cargo run --release -p exp --bin model_report -- \
+//!     --dataset artifacts/dataset.txt --model artifacts/model.txt [--ablation]
+//! ```
+
+use exp::args::Args;
+use exp::table::Table;
+use ssdkeeper::analysis::{accuracy_by_level, family_confusion, regret_summary, Family};
+use ssdkeeper::learner::{DatasetSpec, LabelledDataset, Learner, OptimizerChoice};
+use ssdkeeper::model_io;
+
+fn main() {
+    let args = Args::from_env();
+    let dataset_path = args.get_str("dataset", "artifacts/dataset.txt");
+    let text = std::fs::read_to_string(&dataset_path).expect("read dataset file");
+    let dataset = LabelledDataset::from_text(&text).expect("parse dataset file");
+    eprintln!("loaded {} samples from {dataset_path}", dataset.samples.len());
+
+    let allocator = match args.get_opt("model") {
+        Some(path) => model_io::load_allocator(path).expect("load model file"),
+        None => {
+            eprintln!("no --model given; training Adam-logistic for 200 iterations...");
+            let learner = Learner::new(DatasetSpec::quick(1));
+            learner
+                .train_with(&dataset, OptimizerChoice::AdamLogistic, 200, 1)
+                .allocator()
+        }
+    };
+
+    println!(
+        "note: scores below cover the whole dataset (train + test); Table III's\n\
+         effective-accuracy column is the held-out figure.\n"
+    );
+
+    // --- Regret distribution. ---
+    match regret_summary(&allocator, &dataset) {
+        Some(s) => {
+            println!("Prediction regret over {} samples:", s.samples);
+            println!(
+                "  mean {:.2}%  median {:.2}%  p95 {:.2}%  max {:.1}%",
+                s.mean * 100.0,
+                s.p50 * 100.0,
+                s.p95 * 100.0,
+                s.max * 100.0
+            );
+            println!(
+                "  within 1%: {:.1}%   within 5%: {:.1}%   within 10%: {:.1}%\n",
+                s.within_1pct * 100.0,
+                s.within_5pct * 100.0,
+                s.within_10pct * 100.0
+            );
+        }
+        None => println!("dataset carries no per-strategy metrics (v1 file); regret unavailable\n"),
+    }
+
+    // --- Accuracy by intensity level. ---
+    let mut t = Table::new(&["level", "samples", "exact acc", "effective acc (<=5%)"]);
+    for (level, n, exact, eff) in accuracy_by_level(&allocator, &dataset, 0.05) {
+        t.row(vec![
+            format!("{level}"),
+            format!("{n}"),
+            format!("{:.1}%", exact * 100.0),
+            format!("{:.1}%", eff * 100.0),
+        ]);
+    }
+    println!("Accuracy by intensity level:\n{}", t.render());
+
+    // --- Family confusion. ---
+    let m = family_confusion(&allocator, &dataset);
+    let fams = [Family::Shared, Family::Partitioned2, Family::Partitioned4];
+    let mut t = Table::new(&["true \\ predicted", "Shared", "2-part", "4-part"]);
+    for f in fams {
+        let row = m[f.index()];
+        t.row(vec![
+            f.name().to_string(),
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+        ]);
+    }
+    println!("Strategy-family confusion:\n{}", t.render());
+
+    // --- Dataset-size ablation. ---
+    if args.has("ablation") {
+        println!("Dataset-size ablation (Adam-logistic, 200 iterations):");
+        let learner = Learner::new(DatasetSpec::quick(1));
+        let mut t = Table::new(&["train samples", "effective acc (<=5%)", "within 1%"]);
+        for frac in [0.1f64, 0.25, 0.5, 1.0] {
+            let take = ((dataset.samples.len() as f64) * frac) as usize;
+            let subset = LabelledDataset {
+                samples: dataset.samples[..take.max(10)].to_vec(),
+                max_total_iops: dataset.max_total_iops,
+            };
+            let model = learner.train_with(&subset, OptimizerChoice::AdamLogistic, 200, 7);
+            let alloc = model.allocator();
+            // Score on the FULL dataset so subsets are comparable.
+            let s = regret_summary(&alloc, &dataset).expect("v2 dataset");
+            t.row(vec![
+                format!("{}", subset.samples.len()),
+                format!("{:.1}%", s.within_5pct * 100.0),
+                format!("{:.1}%", s.within_1pct * 100.0),
+            ]);
+        }
+        t.print();
+    }
+}

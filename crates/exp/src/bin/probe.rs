@@ -1,0 +1,47 @@
+//! Diagnostic: for each paper mix, sweep all 42 strategies with the label
+//! generator and print the top-5 and Shared's rank — shows what the
+//! simulator's ground-truth optimum is, independent of the model.
+//!
+//! ```text
+//! cargo run --release -p exp --bin probe [--requests 20000]
+//! ```
+
+use exp::args::Args;
+use exp::fig5::{build_mix, Fig5Config};
+use ssdkeeper::label::{evaluate_all, EvalConfig};
+use ssdkeeper::Strategy;
+use workloads::msr::paper_mix_profiles;
+
+fn main() {
+    let args = Args::from_env();
+    let cfg = Fig5Config {
+        requests: args.get("requests", 20_000),
+        ..Fig5Config::default()
+    };
+    let eval = EvalConfig::default();
+
+    for profile in paper_mix_profiles() {
+        let trace = build_mix(&profile, &cfg);
+        let mut evals = evaluate_all(&trace, 4, &[cfg.lpn_space; 4], &eval).unwrap();
+        evals.sort_by(|a, b| a.metric_us.partial_cmp(&b.metric_us).unwrap());
+        let shared_rank = evals
+            .iter()
+            .position(|e| e.strategy == Strategy::Shared)
+            .unwrap();
+        let shared = &evals[shared_rank];
+        println!(
+            "{} (level {}): shared rank {}/42 at {:.1}us",
+            profile.name, profile.intensity_level, shared_rank + 1, shared.metric_us
+        );
+        for e in evals.iter().take(5) {
+            println!(
+                "    {:<10} total {:>9.1}us  (read {:>8.1}, write {:>8.1})  vs shared {:+.1}%",
+                e.strategy.to_string(),
+                e.metric_us,
+                e.read_us,
+                e.write_us,
+                (1.0 - e.metric_us / shared.metric_us) * 100.0
+            );
+        }
+    }
+}

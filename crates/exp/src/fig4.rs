@@ -1,0 +1,168 @@
+//! Figure 4 + Table III — model training with the four optimizer
+//! configurations.
+//!
+//! Trains the 9→64→42 network on a labelled dataset with SGD,
+//! SGD-momentum, Adam-ReLU, and Adam-logistic; prints the loss curve
+//! (Figure 4a), the test-accuracy curve (Figure 4b), and the final
+//! loss/accuracy/training-time table (Table III).
+
+use crate::table::{f3, Table};
+use ssdkeeper::learner::{
+    effective_accuracy, effective_accuracy_subset, DatasetSpec, LabelledDataset, Learner,
+    OptimizerChoice, TrainedModel,
+};
+
+/// Training outcomes per optimizer configuration.
+#[derive(Debug)]
+pub struct Fig4Result {
+    /// The configuration trained.
+    pub choice: OptimizerChoice,
+    /// The trained model (history inside).
+    pub model: TrainedModel,
+}
+
+/// Trains all four paper configurations on `dataset` for `epochs`
+/// iterations.
+pub fn run(dataset: &LabelledDataset, epochs: usize, seed: u64) -> Vec<Fig4Result> {
+    let learner = Learner::new(DatasetSpec::quick(1)); // spec irrelevant for training
+    OptimizerChoice::PAPER
+        .iter()
+        .map(|&choice| Fig4Result {
+            choice,
+            model: learner.train_with(dataset, choice, epochs, seed),
+        })
+        .collect()
+}
+
+/// Renders the loss (a) and accuracy (b) curves, sampled every `stride`
+/// iterations.
+pub fn render_curves(results: &[Fig4Result], stride: usize) -> String {
+    let epochs = results[0].model.history.loss.len();
+    let stride = stride.max(1);
+    let mut headers = vec!["iteration".to_string()];
+    headers.extend(results.iter().map(|r| r.choice.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut loss_table = Table::new(&header_refs);
+    let mut acc_table = Table::new(&header_refs);
+    for epoch in (0..epochs).step_by(stride).chain(std::iter::once(epochs - 1)) {
+        let mut lrow = vec![format!("{}", epoch + 1)];
+        let mut arow = vec![format!("{}", epoch + 1)];
+        for r in results {
+            lrow.push(f3(r.model.history.loss[epoch] as f64));
+            arow.push(f3(r.model.history.test_accuracy[epoch] as f64));
+        }
+        loss_table.row(lrow);
+        acc_table.row(arow);
+    }
+    format!(
+        "Figure 4(a): training loss\n{}\nFigure 4(b): test accuracy\n{}",
+        loss_table.render(),
+        acc_table.render()
+    )
+}
+
+/// Renders Table III: final loss, accuracy, and wall training time. When
+/// the dataset carries per-strategy metrics (v2), an *effective accuracy*
+/// column is added: predictions within 5 % of the optimal latency.
+pub fn render_table3(results: &[Fig4Result], dataset: &LabelledDataset) -> String {
+    let mut t = Table::new(&[
+        "Optimizer",
+        "Loss",
+        "Accuracy",
+        "Effective Acc (<=5% regret)",
+        "Training Time(ms)",
+    ]);
+    for r in results {
+        // Score on the model's held-out split when available, so the
+        // number is a generalization figure, not memorization.
+        let eff = if r.model.test_indices.is_empty() {
+            effective_accuracy(&r.model.allocator(), dataset, 0.05)
+        } else {
+            effective_accuracy_subset(&r.model.allocator(), dataset, &r.model.test_indices, 0.05)
+        }
+        .map(|a| format!("{:.1}%", a * 100.0))
+        .unwrap_or_else(|| "n/a".to_string());
+        t.row(vec![
+            r.choice.name().to_string(),
+            f3(r.model.history.final_loss() as f64),
+            format!("{:.1}%", r.model.history.final_accuracy() * 100.0),
+            eff,
+            format!("{}", r.model.history.wall_time.as_millis()),
+        ]);
+    }
+    format!("Table III: final loss, accuracy and training time\n{}", t.render())
+}
+
+/// Returns the best configuration: by effective accuracy (<=5 % regret)
+/// when the dataset carries per-strategy metrics, otherwise by raw test
+/// accuracy.
+pub fn best<'a>(results: &'a [Fig4Result], dataset: &LabelledDataset) -> &'a Fig4Result {
+    let score = |r: &Fig4Result| {
+        let eff = if r.model.test_indices.is_empty() {
+            effective_accuracy(&r.model.allocator(), dataset, 0.05)
+        } else {
+            effective_accuracy_subset(&r.model.allocator(), dataset, &r.model.test_indices, 0.05)
+        };
+        eff.unwrap_or_else(|| r.model.history.final_accuracy() as f64)
+    };
+    results
+        .iter()
+        .max_by(|a, b| score(a).partial_cmp(&score(b)).expect("scores are finite"))
+        .expect("non-empty results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::SsdConfig;
+    use parallel::PoolConfig;
+    use ssdkeeper::label::EvalConfig;
+
+    fn tiny_dataset() -> LabelledDataset {
+        let spec = DatasetSpec {
+            samples: 12,
+            requests_per_sample: 200,
+            max_total_iops: 120_000.0,
+            lpn_space: 1 << 10,
+            label_tolerance: 0.02,
+            eval: EvalConfig {
+                ssd: SsdConfig {
+                    blocks_per_plane: 64,
+                    pages_per_block: 32,
+                    ..SsdConfig::paper_table1()
+                },
+                hybrid: false,
+                pool: PoolConfig::with_workers(1),
+            },
+        };
+        Learner::new(spec).generate_dataset(3)
+    }
+
+    #[test]
+    fn trains_all_four_configurations() {
+        let d = tiny_dataset();
+        let results = run(&d, 4, 1);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.model.history.loss.len(), 4);
+            assert_eq!(r.model.history.test_accuracy.len(), 4);
+        }
+        let names: Vec<_> = results.iter().map(|r| r.choice.name()).collect();
+        assert_eq!(names, vec!["SGD", "SGD-momentum", "Adam-ReLU", "Adam-logistic"]);
+    }
+
+    #[test]
+    fn renders_curves_and_table() {
+        let d = tiny_dataset();
+        let results = run(&d, 4, 1);
+        let curves = render_curves(&results, 2);
+        assert!(curves.contains("Figure 4(a)"));
+        assert!(curves.contains("Adam-logistic"));
+        let t3 = render_table3(&results, &d);
+        assert!(t3.contains("Table III"));
+        assert!(t3.contains("Training Time(ms)"));
+        let b = best(&results, &d);
+        assert!(OptimizerChoice::PAPER.contains(&b.choice));
+    }
+}

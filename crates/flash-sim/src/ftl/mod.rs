@@ -1,0 +1,551 @@
+//! Flash translation layer: mapping, page allocation, garbage collection,
+//! and wear accounting.
+//!
+//! Structure:
+//! * [`mapping`] — per-tenant logical-to-physical page tables;
+//! * [`alloc`] — static/dynamic plane selection (the paper's two page
+//!   allocation modes, combined by SSDKeeper's hybrid page allocator);
+//! * [`gc`] — greedy per-plane garbage collection;
+//! * [`wear`] — erase-count accounting.
+//!
+//! The FTL here is *logically synchronous*: the bookkeeping effect of a
+//! write or a GC pass is applied immediately, while its **timing** cost is
+//! returned to the engine as a charge ([`gc::GcCharge`]) that occupies the
+//! die in simulated time. This keeps the data structures simple and
+//! deterministic without losing the performance interference GC causes.
+
+pub mod alloc;
+pub mod gc;
+pub mod mapping;
+pub mod wear;
+
+use crate::config::SsdConfig;
+use crate::geometry::{Geometry, PhysAddr};
+use crate::tenant::TenantLayout;
+use gc::GcCharge;
+use mapping::TenantMap;
+
+/// Per-page FTL state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Never written since the last erase.
+    Free,
+    /// Holds live data for `(tenant, lpn)`.
+    Valid {
+        /// Owning tenant.
+        tenant: u16,
+        /// Logical page the data belongs to.
+        lpn: u64,
+    },
+    /// Holds stale data awaiting GC.
+    Invalid,
+}
+
+/// One erase block.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// Write pointer: next free page index, `== pages_per_block` when full.
+    pub next_page: u32,
+    /// Number of `Valid` pages.
+    pub valid_count: u32,
+    /// Lifetime erase count.
+    pub erase_count: u32,
+    /// Per-page state.
+    pub pages: Vec<PageState>,
+}
+
+impl BlockState {
+    fn new(pages_per_block: usize) -> Self {
+        Self {
+            next_page: 0,
+            valid_count: 0,
+            erase_count: 0,
+            pages: vec![PageState::Free; pages_per_block],
+        }
+    }
+
+    /// Whether the write pointer has reached the end of the block.
+    pub fn is_full(&self, pages_per_block: usize) -> bool {
+        self.next_page as usize >= pages_per_block
+    }
+}
+
+/// One plane: the unit of page allocation and garbage collection.
+#[derive(Debug, Clone)]
+pub struct PlaneState {
+    /// All blocks in the plane.
+    pub blocks: Vec<BlockState>,
+    /// Block currently receiving writes, if any.
+    pub active_block: Option<usize>,
+    /// Fully erased blocks available to become active.
+    pub free_blocks: Vec<usize>,
+    /// Count of `Free` pages across the plane (fast full-check).
+    pub free_pages: u64,
+}
+
+impl PlaneState {
+    fn new(cfg: &SsdConfig) -> Self {
+        Self {
+            blocks: (0..cfg.blocks_per_plane)
+                .map(|_| BlockState::new(cfg.pages_per_block))
+                .collect(),
+            active_block: None,
+            free_blocks: (0..cfg.blocks_per_plane).rev().collect(),
+            free_pages: (cfg.blocks_per_plane * cfg.pages_per_block) as u64,
+        }
+    }
+}
+
+/// Outcome of a logical page write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Physical page the data landed on.
+    pub addr: PhysAddr,
+    /// Timing charge for a GC pass the write triggered, if any.
+    pub gc: Option<GcCharge>,
+}
+
+/// FTL errors surfaced to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// A plane ran out of free pages and GC could not reclaim any.
+    PlaneFull {
+        /// Flat plane index that filled up.
+        plane: usize,
+    },
+    /// A request addressed a tenant not present in the layout.
+    UnknownTenant(u16),
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::PlaneFull { plane } => {
+                write!(f, "plane {plane} is full and GC reclaimed nothing")
+            }
+            FtlError::UnknownTenant(t) => write!(f, "tenant {t} not in layout"),
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+/// Aggregate FTL counters reported at end of run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Host pages written.
+    pub host_pages_written: u64,
+    /// Pages moved by garbage collection.
+    pub gc_pages_moved: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_blocks_erased: u64,
+    /// GC passes triggered by host writes (timing charged).
+    pub gc_invocations: u64,
+    /// Pages silently seeded to satisfy reads of never-written LPNs.
+    pub seeded_pages: u64,
+}
+
+impl FtlStats {
+    /// Write amplification factor: (host + GC writes) / host writes.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            1.0
+        } else {
+            (self.host_pages_written + self.gc_pages_moved) as f64 / self.host_pages_written as f64
+        }
+    }
+}
+
+/// The flash translation layer.
+#[derive(Debug)]
+pub struct Ftl {
+    geo: Geometry,
+    pages_per_block: usize,
+    gc_trigger_blocks: usize,
+    wear_leveling_threshold: u32,
+    read_ns: u64,
+    write_ns: u64,
+    erase_ns: u64,
+    planes: Vec<PlaneState>,
+    maps: Vec<TenantMap>,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Builds the FTL for a device/layout pair.
+    pub fn new(cfg: &SsdConfig, layout: &TenantLayout) -> Self {
+        let geo = Geometry::new(cfg);
+        // Floor of 2: the active block counts toward the spare pool, so a
+        // trigger of 1 would only fire after the last block is already
+        // full — too late for the write that needs it. Two guarantees GC
+        // runs while one whole spare block still exists.
+        let gc_trigger_blocks = ((cfg.blocks_per_plane as f64 * cfg.gc_free_block_threshold).ceil()
+            as usize)
+            .max(2);
+        Self {
+            planes: (0..geo.total_planes()).map(|_| PlaneState::new(cfg)).collect(),
+            maps: layout
+                .iter()
+                .map(|t| TenantMap::new(t.lpn_space))
+                .collect(),
+            geo,
+            pages_per_block: cfg.pages_per_block,
+            gc_trigger_blocks,
+            wear_leveling_threshold: cfg.wear_leveling_threshold,
+            read_ns: cfg.read_latency_ns,
+            write_ns: cfg.write_latency_ns,
+            erase_ns: cfg.erase_latency_ns,
+            stats: FtlStats::default(),
+        }
+    }
+
+    /// The geometry the FTL was built with.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// Free pages remaining in a flat plane.
+    pub fn plane_free_pages(&self, plane: usize) -> u64 {
+        self.planes[plane].free_pages
+    }
+
+    /// Number of erased spare blocks in a flat plane.
+    pub fn plane_free_blocks(&self, plane: usize) -> usize {
+        self.planes[plane].free_blocks.len()
+            + usize::from(self.planes[plane].active_block.is_some())
+    }
+
+    /// Looks up the physical location of `(tenant, lpn)` for a read.
+    ///
+    /// LPNs that were never written are **seeded**: a physical page is
+    /// allocated via the static policy (so pre-existing data is striped the
+    /// way a freshly formatted device would hold it) with no timing cost,
+    /// modelling data that was already on flash before the trace began.
+    pub fn translate_read(
+        &mut self,
+        tenant: u16,
+        lpn: u64,
+        layout: &TenantLayout,
+    ) -> Result<PhysAddr, FtlError> {
+        let map = self
+            .maps
+            .get(tenant as usize)
+            .ok_or(FtlError::UnknownTenant(tenant))?;
+        let lpn = lpn % map.lpn_space();
+        if let Some(packed) = self.maps[tenant as usize].get(lpn) {
+            return Ok(self.geo.unpack_page(packed));
+        }
+        // Seed: allocate statically, discard the GC charge (no time passes).
+        let state = layout.tenant(tenant as usize);
+        let plane = alloc::static_plane(&self.geo, state, lpn);
+        let outcome = self.write_inner(tenant, lpn, plane)?;
+        self.stats.seeded_pages += 1;
+        self.stats.host_pages_written -= 1; // seeding is not a host write
+        Ok(outcome.addr)
+    }
+
+    /// Writes `(tenant, lpn)` to `plane` (flat index), invalidating any
+    /// previous copy and possibly triggering GC on that plane.
+    pub fn write(&mut self, tenant: u16, lpn: u64, plane: usize) -> Result<WriteOutcome, FtlError> {
+        let map = self
+            .maps
+            .get(tenant as usize)
+            .ok_or(FtlError::UnknownTenant(tenant))?;
+        let lpn = lpn % map.lpn_space();
+        self.write_inner(tenant, lpn, plane)
+    }
+
+    fn write_inner(&mut self, tenant: u16, lpn: u64, plane: usize) -> Result<WriteOutcome, FtlError> {
+        // Invalidate the previous copy, if any.
+        if let Some(old_packed) = self.maps[tenant as usize].get(lpn) {
+            let old = self.geo.unpack_page(old_packed);
+            self.invalidate(&old);
+        }
+
+        // Land the page on the plane's active block.
+        let addr = self.append_to_plane(plane, tenant, lpn)?;
+        self.maps[tenant as usize].set(lpn, self.geo.pack_page(&addr));
+        self.stats.host_pages_written += 1;
+
+        // Trigger GC when spare blocks run low.
+        let gc = if self.plane_free_blocks(plane) < self.gc_trigger_blocks {
+            self.collect_plane(plane)
+        } else {
+            None
+        };
+        Ok(WriteOutcome { addr, gc })
+    }
+
+    /// Marks the page at `addr` invalid.
+    fn invalidate(&mut self, addr: &PhysAddr) {
+        let plane = self.geo.plane_index(addr);
+        let block = &mut self.planes[plane].blocks[addr.block as usize];
+        debug_assert!(matches!(
+            block.pages[addr.page as usize],
+            PageState::Valid { .. }
+        ));
+        block.pages[addr.page as usize] = PageState::Invalid;
+        block.valid_count -= 1;
+    }
+
+    /// Appends a page to the plane's active block, rotating in a fresh block
+    /// when needed.
+    fn append_to_plane(&mut self, plane: usize, tenant: u16, lpn: u64) -> Result<PhysAddr, FtlError> {
+        let pages_per_block = self.pages_per_block;
+        let state = &mut self.planes[plane];
+
+        let need_new_block = match state.active_block {
+            Some(b) => state.blocks[b].is_full(pages_per_block),
+            None => true,
+        };
+        if need_new_block {
+            match state.free_blocks.pop() {
+                Some(b) => state.active_block = Some(b),
+                None => return Err(FtlError::PlaneFull { plane }),
+            }
+        }
+        let b = state.active_block.expect("just ensured an active block");
+        let block = &mut state.blocks[b];
+        let page = block.next_page;
+        debug_assert!(matches!(block.pages[page as usize], PageState::Free));
+        block.pages[page as usize] = PageState::Valid { tenant, lpn };
+        block.next_page += 1;
+        block.valid_count += 1;
+        state.free_pages -= 1;
+
+        let die = self.geo.die_of_plane(plane);
+        let plane_in_die = (plane % self.geo.planes_per_die()) as u16;
+        let channel = self.geo.channel_of_die(die) as u16;
+        let within_channel = die % self.geo.dies_per_channel();
+        let chip = (within_channel / self.geo.dies_per_chip()) as u16;
+        let die_in_chip = (within_channel % self.geo.dies_per_chip()) as u16;
+        Ok(PhysAddr {
+            channel,
+            chip,
+            die: die_in_chip,
+            plane: plane_in_die,
+            block: b as u32,
+            page,
+        })
+    }
+
+    /// Runs one greedy GC pass on `plane`; returns the timing charge or
+    /// `None` when no profitable victim exists.
+    fn collect_plane(&mut self, plane: usize) -> Option<GcCharge> {
+        gc::collect_plane(self, plane)
+    }
+
+    // ---- internals shared with the gc module ----
+
+    pub(crate) fn plane_mut(&mut self, plane: usize) -> &mut PlaneState {
+        &mut self.planes[plane]
+    }
+
+    pub(crate) fn plane_ref(&self, plane: usize) -> &PlaneState {
+        &self.planes[plane]
+    }
+
+    pub(crate) fn map_mut(&mut self, tenant: u16) -> &mut TenantMap {
+        &mut self.maps[tenant as usize]
+    }
+
+    pub(crate) fn geometry_internal(&self) -> &Geometry {
+        &self.geo
+    }
+
+    pub(crate) fn timings(&self) -> (u64, u64, u64) {
+        (self.read_ns, self.write_ns, self.erase_ns)
+    }
+
+    pub(crate) fn pages_per_block_internal(&self) -> usize {
+        self.pages_per_block
+    }
+
+    pub(crate) fn wear_threshold_internal(&self) -> u32 {
+        self.wear_leveling_threshold
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut FtlStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn append_for_gc(
+        &mut self,
+        plane: usize,
+        tenant: u16,
+        lpn: u64,
+    ) -> Result<PhysAddr, FtlError> {
+        self.append_to_plane(plane, tenant, lpn)
+    }
+
+    /// Validates internal invariants; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (pi, plane) in self.planes.iter().enumerate() {
+            let mut free_pages = 0u64;
+            for block in &plane.blocks {
+                let valid = block
+                    .pages
+                    .iter()
+                    .filter(|p| matches!(p, PageState::Valid { .. }))
+                    .count() as u32;
+                assert_eq!(valid, block.valid_count, "plane {pi} valid_count mismatch");
+                let free = block
+                    .pages
+                    .iter()
+                    .filter(|p| matches!(p, PageState::Free))
+                    .count() as u64;
+                free_pages += free;
+                // Pages below the write pointer must not be Free.
+                for (i, p) in block.pages.iter().enumerate() {
+                    if (i as u32) < block.next_page {
+                        assert!(!matches!(p, PageState::Free), "hole below write pointer");
+                    } else {
+                        assert!(matches!(p, PageState::Free), "data above write pointer");
+                    }
+                }
+            }
+            assert_eq!(free_pages, plane.free_pages, "plane {pi} free_pages mismatch");
+        }
+        // Mapping must point at Valid pages tagged with the same (tenant, lpn).
+        for (t, map) in self.maps.iter().enumerate() {
+            for (lpn, packed) in map.iter_mapped() {
+                let addr = self.geo.unpack_page(packed);
+                let plane = self.geo.plane_index(&addr);
+                match self.planes[plane].blocks[addr.block as usize].pages[addr.page as usize] {
+                    PageState::Valid { tenant, lpn: l } => {
+                        assert_eq!(tenant as usize, t);
+                        assert_eq!(l, lpn);
+                    }
+                    other => panic!("mapping points at non-valid page: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantLayout;
+
+    fn small() -> (SsdConfig, TenantLayout) {
+        let cfg = SsdConfig::small_test();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(64);
+        (cfg, layout)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let out = ftl.write(0, 5, 0).unwrap();
+        let addr = ftl.translate_read(0, 5, &layout).unwrap();
+        assert_eq!(addr, out.addr);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_copy() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let first = ftl.write(0, 5, 0).unwrap().addr;
+        let second = ftl.write(0, 5, 0).unwrap().addr;
+        assert_ne!(first, second, "log-structured writes never overwrite in place");
+        let read = ftl.translate_read(0, 5, &layout).unwrap();
+        assert_eq!(read, second);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn read_of_unwritten_lpn_seeds_statically() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let a1 = ftl.translate_read(0, 9, &layout).unwrap();
+        let a2 = ftl.translate_read(0, 9, &layout).unwrap();
+        assert_eq!(a1, a2, "seeding is stable");
+        assert_eq!(ftl.stats().seeded_pages, 1);
+        assert_eq!(ftl.stats().host_pages_written, 0);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn lpns_wrap_at_tenant_space() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let a = ftl.write(0, 3, 0).unwrap().addr;
+        // 3 + 64 wraps to 3: reading it must hit the same page.
+        let b = ftl.translate_read(0, 3 + 64, &layout).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_tenant_is_an_error() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        assert_eq!(
+            ftl.write(7, 0, 0).unwrap_err(),
+            FtlError::UnknownTenant(7)
+        );
+        assert!(matches!(
+            ftl.translate_read(7, 0, &layout),
+            Err(FtlError::UnknownTenant(7))
+        ));
+    }
+
+    #[test]
+    fn filling_a_plane_without_invalid_pages_errors() {
+        let cfg = SsdConfig {
+            gc_free_block_threshold: 0.0,
+            ..SsdConfig::small_test()
+        };
+        // lpn space larger than one plane so every write is a fresh page.
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(10_000);
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let plane_pages = (cfg.blocks_per_plane * cfg.pages_per_block) as u64;
+        for lpn in 0..plane_pages {
+            ftl.write(0, lpn, 0).unwrap();
+        }
+        assert!(matches!(
+            ftl.write(0, plane_pages, 0),
+            Err(FtlError::PlaneFull { plane: 0 })
+        ));
+    }
+
+    #[test]
+    fn overwrites_trigger_gc_and_reclaim_space() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        // Hammer a small working set confined to plane 0 far beyond its
+        // capacity; GC must keep reclaiming.
+        let plane_pages = (cfg.blocks_per_plane * cfg.pages_per_block) as u64; // 64
+        for i in 0..(plane_pages * 8) {
+            let lpn = i % 16; // small hot set
+            ftl.write(0, lpn, 0).unwrap();
+        }
+        let stats = ftl.stats();
+        assert!(stats.gc_blocks_erased > 0, "GC must have run");
+        assert!(stats.write_amplification() >= 1.0);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn write_amplification_default_is_one() {
+        assert_eq!(FtlStats::default().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn plane_free_counters_consistent() {
+        let (cfg, layout) = small();
+        let mut ftl = Ftl::new(&cfg, &layout);
+        let before = ftl.plane_free_pages(0);
+        ftl.write(0, 0, 0).unwrap();
+        assert_eq!(ftl.plane_free_pages(0), before - 1);
+        assert!(ftl.plane_free_blocks(0) <= cfg.blocks_per_plane);
+    }
+}

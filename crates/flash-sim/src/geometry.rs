@@ -1,0 +1,328 @@
+//! Physical addressing within the SSD hierarchy.
+//!
+//! The hierarchy is `channel → chip → die → plane → block → page`. Two flat
+//! index spaces are used pervasively by the engine:
+//!
+//! * **die index** — identifies the unit of array-command contention;
+//! * **plane index** — identifies the unit of page allocation and GC.
+//!
+//! Both are plain `usize` row-major flattenings computed by [`Geometry`].
+
+use crate::config::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// A fully resolved physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysAddr {
+    /// Channel (bus) index.
+    pub channel: u16,
+    /// Chip index within the channel.
+    pub chip: u16,
+    /// Die index within the chip.
+    pub die: u16,
+    /// Plane index within the die.
+    pub plane: u16,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+/// Precomputed dimension arithmetic for a fixed [`SsdConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Geometry {
+    channels: usize,
+    chips_per_channel: usize,
+    dies_per_chip: usize,
+    planes_per_die: usize,
+    blocks_per_plane: usize,
+    pages_per_block: usize,
+}
+
+impl Geometry {
+    /// Builds the dimension table from a configuration.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        Self {
+            channels: cfg.channels,
+            chips_per_channel: cfg.chips_per_channel,
+            dies_per_chip: cfg.dies_per_chip,
+            planes_per_die: cfg.planes_per_die,
+            blocks_per_plane: cfg.blocks_per_plane,
+            pages_per_block: cfg.pages_per_block,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Chips per channel.
+    pub fn chips_per_channel(&self) -> usize {
+        self.chips_per_channel
+    }
+
+    /// Dies per chip.
+    pub fn dies_per_chip(&self) -> usize {
+        self.dies_per_chip
+    }
+
+    /// Dies per channel.
+    pub fn dies_per_channel(&self) -> usize {
+        self.chips_per_channel * self.dies_per_chip
+    }
+
+    /// Total dies in the device.
+    pub fn total_dies(&self) -> usize {
+        self.channels * self.dies_per_channel()
+    }
+
+    /// Planes per die.
+    pub fn planes_per_die(&self) -> usize {
+        self.planes_per_die
+    }
+
+    /// Total planes in the device.
+    pub fn total_planes(&self) -> usize {
+        self.total_dies() * self.planes_per_die
+    }
+
+    /// Blocks per plane.
+    pub fn blocks_per_plane(&self) -> usize {
+        self.blocks_per_plane
+    }
+
+    /// Pages per block.
+    pub fn pages_per_block(&self) -> usize {
+        self.pages_per_block
+    }
+
+    /// Pages per plane.
+    pub fn pages_per_plane(&self) -> usize {
+        self.blocks_per_plane * self.pages_per_block
+    }
+
+    /// Total physical pages in the device.
+    pub fn total_pages(&self) -> u64 {
+        self.total_planes() as u64 * self.pages_per_plane() as u64
+    }
+
+    /// Flat die index of an address.
+    pub fn die_index(&self, addr: &PhysAddr) -> usize {
+        (addr.channel as usize * self.chips_per_channel + addr.chip as usize) * self.dies_per_chip
+            + addr.die as usize
+    }
+
+    /// Flat die index from `(channel, die-within-channel)` coordinates.
+    pub fn die_index_of(&self, channel: usize, die_in_channel: usize) -> usize {
+        debug_assert!(channel < self.channels);
+        debug_assert!(die_in_channel < self.dies_per_channel());
+        channel * self.dies_per_channel() + die_in_channel
+    }
+
+    /// Channel that owns a flat die index.
+    pub fn channel_of_die(&self, die: usize) -> usize {
+        die / self.dies_per_channel()
+    }
+
+    /// Flat plane index of an address.
+    pub fn plane_index(&self, addr: &PhysAddr) -> usize {
+        self.die_index(addr) * self.planes_per_die + addr.plane as usize
+    }
+
+    /// Flat plane index from `(die, plane-within-die)`.
+    pub fn plane_index_of(&self, die: usize, plane: usize) -> usize {
+        debug_assert!(plane < self.planes_per_die);
+        die * self.planes_per_die + plane
+    }
+
+    /// Die that owns a flat plane index.
+    pub fn die_of_plane(&self, plane: usize) -> usize {
+        plane / self.planes_per_die
+    }
+
+    /// Channel that owns a flat plane index.
+    pub fn channel_of_plane(&self, plane: usize) -> usize {
+        self.channel_of_die(self.die_of_plane(plane))
+    }
+
+    /// Packs a physical page into a dense `u32` page id
+    /// (`plane * pages_per_plane + block * pages_per_block + page`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the address is outside the geometry or the
+    /// device has more than `u32::MAX` pages (Table I has ~33.5 M).
+    pub fn pack_page(&self, addr: &PhysAddr) -> u32 {
+        debug_assert!((addr.block as usize) < self.blocks_per_plane);
+        debug_assert!((addr.page as usize) < self.pages_per_block);
+        let plane = self.plane_index(addr) as u64;
+        let id = plane * self.pages_per_plane() as u64
+            + addr.block as u64 * self.pages_per_block as u64
+            + addr.page as u64;
+        debug_assert!(id <= u32::MAX as u64, "device too large for packed page ids");
+        id as u32
+    }
+
+    /// Inverse of [`Geometry::pack_page`].
+    pub fn unpack_page(&self, packed: u32) -> PhysAddr {
+        let pages_per_plane = self.pages_per_plane() as u64;
+        let packed = packed as u64;
+        let plane_flat = (packed / pages_per_plane) as usize;
+        let within = packed % pages_per_plane;
+        let block = (within as usize / self.pages_per_block) as u32;
+        let page = (within as usize % self.pages_per_block) as u32;
+
+        let die_flat = plane_flat / self.planes_per_die;
+        let plane = (plane_flat % self.planes_per_die) as u16;
+        let dies_per_channel = self.dies_per_channel();
+        let channel = (die_flat / dies_per_channel) as u16;
+        let within_channel = die_flat % dies_per_channel;
+        let chip = (within_channel / self.dies_per_chip) as u16;
+        let die = (within_channel % self.dies_per_chip) as u16;
+        PhysAddr {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Iterator over the flat die indices belonging to `channel`.
+    pub fn dies_of_channel(&self, channel: usize) -> impl Iterator<Item = usize> {
+        let d = self.dies_per_channel();
+        (channel * d)..(channel * d + d)
+    }
+
+    /// Iterator over the flat plane indices belonging to `die`.
+    pub fn planes_of_die(&self, die: usize) -> impl Iterator<Item = usize> {
+        let p = self.planes_per_die;
+        (die * p)..(die * p + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table1() -> Geometry {
+        Geometry::new(&SsdConfig::paper_table1())
+    }
+
+    #[test]
+    fn basic_counts_match_config() {
+        let g = table1();
+        assert_eq!(g.channels(), 8);
+        assert_eq!(g.total_dies(), 16);
+        assert_eq!(g.total_planes(), 64);
+        assert_eq!(g.pages_per_plane(), 4096 * 128);
+        assert_eq!(g.total_pages(), 64 * 4096 * 128);
+    }
+
+    #[test]
+    fn die_index_round_trips_channel() {
+        let g = table1();
+        for ch in 0..8 {
+            for d in g.dies_of_channel(ch) {
+                assert_eq!(g.channel_of_die(d), ch);
+            }
+        }
+    }
+
+    #[test]
+    fn plane_iteration_covers_device_exactly_once() {
+        let g = table1();
+        let mut seen = vec![false; g.total_planes()];
+        for die in 0..g.total_dies() {
+            for p in g.planes_of_die(die) {
+                assert!(!seen[p], "plane {p} visited twice");
+                seen[p] = true;
+                assert_eq!(g.die_of_plane(p), die);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn channel_of_plane_consistent() {
+        let g = table1();
+        for p in 0..g.total_planes() {
+            assert_eq!(g.channel_of_plane(p), g.channel_of_die(g.die_of_plane(p)));
+        }
+    }
+
+    #[test]
+    fn die_index_of_matches_die_index() {
+        let g = table1();
+        let addr = PhysAddr {
+            channel: 3,
+            chip: 1,
+            die: 0,
+            plane: 2,
+            block: 5,
+            page: 7,
+        };
+        assert_eq!(g.die_index(&addr), g.die_index_of(3, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trip(
+            channel in 0u16..8,
+            chip in 0u16..2,
+            plane in 0u16..4,
+            block in 0u32..4096,
+            page in 0u32..128,
+        ) {
+            let g = table1();
+            let addr = PhysAddr { channel, chip, die: 0, plane, block, page };
+            let packed = g.pack_page(&addr);
+            prop_assert_eq!(g.unpack_page(packed), addr);
+        }
+
+        #[test]
+        fn packed_ids_are_dense_and_unique(
+            a_block in 0u32..64, a_page in 0u32..8,
+            b_block in 0u32..64, b_page in 0u32..8,
+        ) {
+            let cfg = SsdConfig {
+                blocks_per_plane: 64,
+                pages_per_block: 8,
+                ..SsdConfig::paper_table1()
+            };
+            let g = Geometry::new(&cfg);
+            let a = PhysAddr { channel: 1, chip: 0, die: 0, plane: 1, block: a_block, page: a_page };
+            let b = PhysAddr { channel: 1, chip: 0, die: 0, plane: 1, block: b_block, page: b_page };
+            prop_assert_eq!(g.pack_page(&a) == g.pack_page(&b), a == b);
+        }
+    }
+
+    #[test]
+    fn unpack_boundary_pages() {
+        let g = table1();
+        let last = PhysAddr {
+            channel: 7,
+            chip: 1,
+            die: 0,
+            plane: 3,
+            block: 4095,
+            page: 127,
+        };
+        let packed = g.pack_page(&last);
+        assert_eq!(packed as u64, g.total_pages() - 1);
+        assert_eq!(g.unpack_page(packed), last);
+        let first = PhysAddr {
+            channel: 0,
+            chip: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        assert_eq!(g.pack_page(&first), 0);
+        assert_eq!(g.unpack_page(0), first);
+    }
+}

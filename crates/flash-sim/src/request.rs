@@ -1,0 +1,95 @@
+//! Host I/O requests as seen by the simulator front end.
+
+use serde::{Deserialize, Serialize};
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+impl Op {
+    /// `true` for [`Op::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, Op::Read)
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Read => write!(f, "R"),
+            Op::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One host I/O request.
+///
+/// A request touches `size_pages` consecutive logical pages starting at
+/// `lpn` within the issuing tenant's logical space. The simulator fans it
+/// out into page-granular flash commands; the request completes when the
+/// slowest command completes (the paper's "the latency of the request
+/// depends on the slowest chip access").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Trace-unique request id.
+    pub id: u64,
+    /// Issuing tenant (index into the simulator's tenant layout).
+    pub tenant: u16,
+    /// Direction.
+    pub op: Op,
+    /// First logical page within the tenant's LPN space.
+    pub lpn: u64,
+    /// Number of consecutive logical pages (>= 1).
+    pub size_pages: u32,
+    /// Arrival time in nanoseconds since simulation start.
+    pub arrival_ns: u64,
+}
+
+impl IoRequest {
+    /// Convenience constructor.
+    pub fn new(id: u64, tenant: u16, op: Op, lpn: u64, size_pages: u32, arrival_ns: u64) -> Self {
+        Self {
+            id,
+            tenant,
+            op,
+            lpn,
+            size_pages,
+            arrival_ns,
+        }
+    }
+
+    /// Iterator over the logical pages touched by this request.
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        self.lpn..self.lpn + self.size_pages as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_display_and_is_read() {
+        assert_eq!(Op::Read.to_string(), "R");
+        assert_eq!(Op::Write.to_string(), "W");
+        assert!(Op::Read.is_read());
+        assert!(!Op::Write.is_read());
+    }
+
+    #[test]
+    fn pages_iterates_consecutive_lpns() {
+        let r = IoRequest::new(0, 0, Op::Write, 10, 3, 0);
+        assert_eq!(r.pages().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn single_page_request() {
+        let r = IoRequest::new(1, 2, Op::Read, 7, 1, 500);
+        assert_eq!(r.pages().count(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Latency accounting and end-of-run reports.
+//!
+//! Latencies are accumulated exactly (count/sum/min/max) and approximately
+//! (log₂-bucketed histogram) so reports can print both means — the metric
+//! the paper's figures use — and tail percentiles for the extended
+//! analyses.
+
+use crate::ftl::wear::WearSummary;
+use crate::ftl::FtlStats;
+
+/// Number of log₂ latency buckets (covers 1 ns .. ~584 years).
+const BUCKETS: usize = 64;
+
+/// Streaming latency statistics for one class of I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of latencies in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (u64::MAX when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    hist: [u64; BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            hist: [0; BUCKETS],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.count += 1;
+        self.sum_ns += latency_ns;
+        self.min_ns = self.min_ns.min(latency_ns);
+        self.max_ns = self.max_ns.max(latency_ns);
+        let bucket = (64 - latency_ns.leading_zeros()) as usize; // ceil(log2)+1, 0 maps to 0
+        self.hist[bucket.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1_000.0
+    }
+
+    /// Approximate percentile (0.0..=1.0) from the log₂ histogram; the
+    /// upper edge of the bucket containing the quantile is returned, so the
+    /// estimate errs high by at most 2×.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Decomposition of page-command time into its four phases, summed over
+/// commands of one class. This is the quantitative form of the paper's
+/// "access conflicts": waiting time at the die/plane and at the channel
+/// bus is exactly the interference other requests impose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Time spent queued for the execution unit (plane/die).
+    pub wait_unit_ns: u64,
+    /// Time executing array operations (read/program).
+    pub array_ns: u64,
+    /// Time holding the unit while queued for the channel bus.
+    pub wait_bus_ns: u64,
+    /// Time transferring on the bus.
+    pub transfer_ns: u64,
+    /// Page commands accounted.
+    pub cmds: u64,
+}
+
+impl LatencyBreakdown {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.wait_unit_ns + self.array_ns + self.wait_bus_ns + self.transfer_ns
+    }
+
+    /// Mean per-command waiting time (unit + bus queues), µs.
+    pub fn mean_wait_us(&self) -> f64 {
+        if self.cmds == 0 {
+            0.0
+        } else {
+            (self.wait_unit_ns + self.wait_bus_ns) as f64 / self.cmds as f64 / 1_000.0
+        }
+    }
+
+    /// Mean per-command service time (array + transfer), µs.
+    pub fn mean_service_us(&self) -> f64 {
+        if self.cmds == 0 {
+            0.0
+        } else {
+            (self.array_ns + self.transfer_ns) as f64 / self.cmds as f64 / 1_000.0
+        }
+    }
+
+    /// Fraction of command time spent waiting — the conflict share.
+    pub fn conflict_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            (self.wait_unit_ns + self.wait_bus_ns) as f64 / total as f64
+        }
+    }
+}
+
+/// Per-tenant latency breakdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantReport {
+    /// Read-request latencies.
+    pub read: LatencyStats,
+    /// Write-request latencies.
+    pub write: LatencyStats,
+}
+
+impl TenantReport {
+    /// Reads + writes combined.
+    pub fn combined(&self) -> LatencyStats {
+        let mut all = self.read.clone();
+        all.merge(&self.write);
+        all
+    }
+}
+
+/// End-of-run report for one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-tenant breakdown, indexed by tenant id.
+    pub tenants: Vec<TenantReport>,
+    /// All read requests across tenants.
+    pub read: LatencyStats,
+    /// All write requests across tenants.
+    pub write: LatencyStats,
+    /// All requests.
+    pub total: LatencyStats,
+    /// FTL counters (GC, write amplification, seeding).
+    pub ftl: FtlStats,
+    /// Device wear summary.
+    pub wear: WearSummary,
+    /// Simulated time at which the last command completed.
+    pub makespan_ns: u64,
+    /// Number of discrete events processed.
+    pub events_processed: u64,
+    /// Per-channel bus busy time in nanoseconds (index = channel).
+    pub bus_busy_ns: Vec<u64>,
+    /// Phase decomposition of read page-commands.
+    pub read_breakdown: LatencyBreakdown,
+    /// Phase decomposition of host write page-commands (GC excluded).
+    pub write_breakdown: LatencyBreakdown,
+    /// Total die time consumed by GC composite operations.
+    pub gc_busy_ns: u64,
+}
+
+impl SimReport {
+    /// The paper's overall performance metric: mean read latency plus mean
+    /// write latency (µs). Lower is better; §III-B sums the two series and
+    /// Figure 5(c) reports exactly this as "total response latency".
+    pub fn total_latency_metric_us(&self) -> f64 {
+        self.read.mean_us() + self.write.mean_us()
+    }
+
+    /// Per-channel bus utilization over the makespan, in `[0, 1]`.
+    /// Empty runs report all zeros.
+    pub fn bus_utilization(&self) -> Vec<f64> {
+        if self.makespan_ns == 0 {
+            return vec![0.0; self.bus_busy_ns.len()];
+        }
+        self.bus_busy_ns
+            .iter()
+            .map(|&b| b as f64 / self.makespan_ns as f64)
+            .collect()
+    }
+
+    /// Highest-to-lowest channel utilization ratio; 1.0 means perfectly
+    /// balanced buses (∞-free: returns `f64::INFINITY` when some channel
+    /// idles completely while another works).
+    pub fn bus_imbalance(&self) -> f64 {
+        let util = self.bus_utilization();
+        let max = util.iter().copied().fold(0.0f64, f64::max);
+        let min = util.iter().copied().fold(f64::INFINITY, f64::min);
+        if max == 0.0 {
+            1.0
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.percentile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn record_updates_all_fields() {
+        let mut s = LatencyStats::new();
+        s.record(100);
+        s.record(300);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+        assert!((s.mean_us() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_accumulators() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(30);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum_ns, 90);
+        assert_eq!(a.min_ns, 10);
+        assert_eq!(a.max_ns, 50);
+    }
+
+    #[test]
+    fn percentile_brackets_true_value() {
+        let mut s = LatencyStats::new();
+        for v in [100u64, 200, 400, 800, 100_000] {
+            s.record(v);
+        }
+        let p50 = s.percentile_ns(0.5);
+        // True median is 400; bucketed estimate must be within 2x above.
+        assert!((400..=800).contains(&p50), "p50 = {p50}");
+        let p100 = s.percentile_ns(1.0);
+        assert!(p100 >= 100_000);
+    }
+
+    #[test]
+    fn zero_latency_sample_is_representable() {
+        let mut s = LatencyStats::new();
+        s.record(0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.percentile_ns(1.0), 0);
+    }
+
+    #[test]
+    fn tenant_report_combines_classes() {
+        let mut t = TenantReport::default();
+        t.read.record(10);
+        t.write.record(30);
+        let c = t.combined();
+        assert_eq!(c.count, 2);
+        assert_eq!(c.sum_ns, 40);
+    }
+
+    proptest! {
+        /// Percentile is monotone in q and bounded by [min-ish, 2*max].
+        #[test]
+        fn percentile_monotone(samples in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+            let mut s = LatencyStats::new();
+            for &v in &samples {
+                s.record(v);
+            }
+            let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let ps: Vec<u64> = qs.iter().map(|&q| s.percentile_ns(q)).collect();
+            for w in ps.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert!(ps[ps.len() - 1] <= s.max_ns.next_power_of_two().max(s.max_ns));
+        }
+
+        /// merge(a, b) equals recording the union.
+        #[test]
+        fn merge_equals_union(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..50),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..50),
+        ) {
+            let mut a = LatencyStats::new();
+            for &v in &xs { a.record(v); }
+            let mut b = LatencyStats::new();
+            for &v in &ys { b.record(v); }
+            a.merge(&b);
+            let mut u = LatencyStats::new();
+            for &v in xs.iter().chain(ys.iter()) { u.record(v); }
+            prop_assert_eq!(a, u);
+        }
+    }
+}

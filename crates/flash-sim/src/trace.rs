@@ -1,0 +1,229 @@
+//! Trace serialization: a compact binary container for request traces.
+//!
+//! The paper's pipeline is trace-driven: synthetic and MSR-like traces are
+//! generated once and replayed across 42 allocation strategies. Persisting
+//! them avoids regenerating identical inputs and lets experiments be
+//! re-run bit-identically.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x53534454 ("SSDT")
+//! version u32 = 1
+//! count  u64
+//! count × { id u64, tenant u16, op u8 (0=read,1=write), _pad u8,
+//!           size_pages u32, lpn u64, arrival_ns u64 }
+//! ```
+
+use crate::request::{IoRequest, Op};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x5353_4454;
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 8 + 2 + 1 + 1 + 4 + 8 + 8;
+
+/// Errors from [`decode_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer is shorter than its header claims.
+    Truncated {
+        /// Records expected from the header.
+        expected: u64,
+        /// Records actually present.
+        got: u64,
+    },
+    /// An op byte was neither 0 nor 1.
+    BadOp(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic(m) => write!(f, "bad trace magic {m:#x}"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated { expected, got } => {
+                write!(f, "trace truncated: header says {expected} records, found {got}")
+            }
+            TraceError::BadOp(b) => write!(f, "invalid op byte {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes a trace to its binary form.
+pub fn encode_trace(trace: &[IoRequest]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * RECORD_BYTES);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(trace.len() as u64);
+    for r in trace {
+        buf.put_u64_le(r.id);
+        buf.put_u16_le(r.tenant);
+        buf.put_u8(match r.op {
+            Op::Read => 0,
+            Op::Write => 1,
+        });
+        buf.put_u8(0);
+        buf.put_u32_le(r.size_pages);
+        buf.put_u64_le(r.lpn);
+        buf.put_u64_le(r.arrival_ns);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace produced by [`encode_trace`].
+pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<IoRequest>, TraceError> {
+    if buf.remaining() < 16 {
+        return Err(TraceError::Truncated { expected: 0, got: 0 });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let count = buf.get_u64_le();
+    let available = (buf.remaining() / RECORD_BYTES) as u64;
+    if available < count {
+        return Err(TraceError::Truncated {
+            expected: count,
+            got: available,
+        });
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let id = buf.get_u64_le();
+        let tenant = buf.get_u16_le();
+        let op = match buf.get_u8() {
+            0 => Op::Read,
+            1 => Op::Write,
+            b => return Err(TraceError::BadOp(b)),
+        };
+        let _pad = buf.get_u8();
+        let size_pages = buf.get_u32_le();
+        let lpn = buf.get_u64_le();
+        let arrival_ns = buf.get_u64_le();
+        out.push(IoRequest {
+            id,
+            tenant,
+            op,
+            lpn,
+            size_pages,
+            arrival_ns,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Vec<IoRequest> {
+        vec![
+            IoRequest::new(0, 0, Op::Write, 10, 4, 0),
+            IoRequest::new(1, 3, Op::Read, u64::MAX, 1, 123_456_789),
+        ]
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let bytes = encode_trace(&sample());
+        let decoded = decode_trace(bytes).unwrap();
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode_trace(&[]);
+        assert_eq!(decode_trace(bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(0);
+        assert_eq!(
+            decode_trace(buf.freeze()).unwrap_err(),
+            TraceError::BadMagic(0xdead_beef)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(99);
+        buf.put_u64_le(0);
+        assert_eq!(decode_trace(buf.freeze()).unwrap_err(), TraceError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode_trace(&sample());
+        let cut = bytes.slice(0..bytes.len() - 4);
+        assert!(matches!(
+            decode_trace(cut).unwrap_err(),
+            TraceError::Truncated { expected: 2, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        let buf = Bytes::from_static(&[1, 2, 3]);
+        assert!(matches!(decode_trace(buf), Err(TraceError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut bytes = BytesMut::from(&encode_trace(&sample())[..]);
+        // op byte of record 0 sits at offset 16 (header) + 8 + 2 = 26.
+        bytes[26] = 7;
+        assert_eq!(decode_trace(bytes.freeze()).unwrap_err(), TraceError::BadOp(7));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(TraceError::BadMagic(1).to_string().contains("magic"));
+        assert!(TraceError::BadVersion(2).to_string().contains("version"));
+        assert!(TraceError::BadOp(3).to_string().contains("op"));
+        assert!(TraceError::Truncated { expected: 5, got: 1 }
+            .to_string()
+            .contains("truncated"));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary(
+            records in proptest::collection::vec(
+                (0u64..u64::MAX, 0u16..16, proptest::bool::ANY, 0u64..1_000_000, 1u32..64, 0u64..u64::MAX / 2),
+                0..100,
+            )
+        ) {
+            let trace: Vec<IoRequest> = records
+                .into_iter()
+                .enumerate()
+                .map(|(i, (id, tenant, is_read, lpn, size, at))| IoRequest {
+                    id: id.wrapping_add(i as u64),
+                    tenant,
+                    op: if is_read { Op::Read } else { Op::Write },
+                    lpn,
+                    size_pages: size,
+                    arrival_ns: at,
+                })
+                .collect();
+            let decoded = decode_trace(encode_trace(&trace)).unwrap();
+            prop_assert_eq!(decoded, trace);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Balanced partitioning of an index space into contiguous chunks.
+//!
+//! Used by batch producers (dataset generation, parameter sweeps) that want
+//! chunk-granular progress reporting rather than item-granular
+//! self-scheduling.
+
+use std::ops::Range;
+
+/// A contiguous chunk of a larger index space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position of this chunk in the chunk sequence.
+    pub index: usize,
+    /// Half-open index range covered by the chunk.
+    pub range: Range<usize>,
+}
+
+impl Chunk {
+    /// Number of items in the chunk.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the chunk covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// Splits `0..total` into at most `parts` contiguous chunks whose sizes
+/// differ by at most one. Returns fewer chunks when `total < parts`; returns
+/// an empty vector when `total == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use parallel::chunk_ranges;
+///
+/// let chunks = chunk_ranges(10, 3);
+/// assert_eq!(chunks[0].range, 0..4);
+/// assert_eq!(chunks[1].range, 4..7);
+/// assert_eq!(chunks[2].range, 7..10);
+/// ```
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Chunk> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for index in 0..parts {
+        let len = base + usize::from(index < extra);
+        chunks.push(Chunk {
+            index,
+            range: start..start + len,
+        });
+        start += len;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_total_yields_no_chunks() {
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_parts_yields_no_chunks() {
+        assert!(chunk_ranges(10, 0).is_empty());
+    }
+
+    #[test]
+    fn exact_division() {
+        let chunks = chunk_ranges(8, 4);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn more_parts_than_items_clamps() {
+        let chunks = chunk_ranges(3, 10);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn chunk_len_and_is_empty() {
+        let c = Chunk { index: 0, range: 2..5 };
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        let e = Chunk { index: 1, range: 5..5 };
+        assert!(e.is_empty());
+    }
+
+    proptest! {
+        /// Chunks are a gapless, in-order cover of 0..total, with sizes
+        /// differing by at most one.
+        #[test]
+        fn cover_is_exact_and_balanced(total in 0usize..10_000, parts in 1usize..64) {
+            let chunks = chunk_ranges(total, parts);
+            let mut expected_start = 0;
+            for (i, c) in chunks.iter().enumerate() {
+                prop_assert_eq!(c.index, i);
+                prop_assert_eq!(c.range.start, expected_start);
+                expected_start = c.range.end;
+            }
+            prop_assert_eq!(expected_start, total);
+            if let (Some(max), Some(min)) = (
+                chunks.iter().map(Chunk::len).max(),
+                chunks.iter().map(Chunk::len).min(),
+            ) {
+                prop_assert!(max - min <= 1);
+            }
+        }
+    }
+}

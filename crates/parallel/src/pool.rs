@@ -1,0 +1,227 @@
+//! Order-preserving parallel map over a slice.
+//!
+//! The implementation deliberately avoids a long-lived thread pool: the
+//! strategy learner's unit of work (one simulator run) lasts milliseconds,
+//! so the cost of spawning a handful of scoped threads per batch is noise,
+//! and scoped threads let the mapped closure borrow the simulator
+//! configuration and workload buffers without cloning them per task.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Configuration for [`par_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads. `1` means "run on the calling thread".
+    pub workers: NonZeroUsize,
+}
+
+impl PoolConfig {
+    /// A pool sized to the machine: one worker per available hardware thread.
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+        Self { workers }
+    }
+
+    /// A pool with exactly `n` workers (clamped up to at least 1).
+    pub fn with_workers(n: usize) -> Self {
+        Self {
+            workers: NonZeroUsize::new(n.max(1)).expect("clamped to >= 1"),
+        }
+    }
+
+    /// Number of workers as a plain `usize`.
+    pub fn worker_count(&self) -> usize {
+        self.workers.get()
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Applies `f` to every element of `items` and returns the results in input
+/// order, fanning the work across `config.workers` threads.
+///
+/// Work is self-scheduled: each worker repeatedly claims the next unclaimed
+/// index from a shared atomic cursor. This keeps all workers busy even when
+/// item costs are highly skewed (e.g. a 1:7 channel split that saturates and
+/// simulates slowly next to a balanced split that finishes quickly).
+///
+/// Panics in `f` are propagated to the caller after all workers have
+/// drained (the panic payload of the first failing index is re-raised).
+///
+/// # Examples
+///
+/// ```
+/// use parallel::{par_map, PoolConfig};
+///
+/// let squares = par_map(&PoolConfig::with_workers(4), &[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(config: &PoolConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(config, items, |_, item| f(item))
+}
+
+/// Like [`par_map`] but the closure also receives the item's index.
+///
+/// Useful when per-item RNG streams must be derived from the index so that
+/// results do not depend on the number of workers.
+pub fn par_map_with<T, R, F>(config: &PoolConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = config.worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Each completed item is written into its slot; slots start empty.
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
+                    Ok(value) => *slots[idx].lock() = Some(value),
+                    Err(payload) => {
+                        let mut guard = first_panic.lock();
+                        if guard.is_none() {
+                            *guard = Some(payload);
+                        }
+                        // Park the cursor so siblings stop claiming work.
+                        cursor.store(items.len(), Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads must not leak panics past catch_unwind");
+
+    if let Some(payload) = first_panic.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every slot is filled unless a worker panicked")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<u32> = par_map(&PoolConfig::with_workers(4), &[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential_map() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map(&PoolConfig::with_workers(1), &items, |&x| x + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_input_order_with_many_workers() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&PoolConfig::with_workers(8), &items, |&x| x * 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn each_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..512).collect();
+        let out = par_map(&PoolConfig::with_workers(7), &items, |&x| x);
+        let seen: HashSet<usize> = out.into_iter().collect();
+        assert_eq!(seen.len(), 512);
+    }
+
+    #[test]
+    fn index_variant_passes_matching_indices() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map_with(&PoolConfig::with_workers(3), &items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn closure_may_borrow_caller_state() {
+        let base = [10u64, 20, 30];
+        let items = vec![0usize, 1, 2];
+        let out = par_map(&PoolConfig::with_workers(2), &items, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn skewed_costs_still_complete() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&PoolConfig::with_workers(4), &items, |&x| {
+            // Make early items much more expensive than late ones.
+            let spins = if x < 4 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let items = vec![0u32, 1, 2, 3];
+        let _ = par_map(&PoolConfig::with_workers(2), &items, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn workers_clamped_to_item_count() {
+        // More workers than items must not deadlock or drop results.
+        let items = vec![1u8, 2];
+        let out = par_map(&PoolConfig::with_workers(64), &items, |&x| x * 2);
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn auto_config_has_at_least_one_worker() {
+        assert!(PoolConfig::auto().worker_count() >= 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! The online loop (Algorithm 2).
+//!
+//! For `t < T` the device runs in `Shared` mode while the features
+//! collector records read/write characteristics and intensities. At
+//! `t == T` the collector's features feed the channel allocator, and the
+//! predicted strategy re-partitions the channels for the rest of the run.
+//! New writes follow the new channel sets; old data remains readable where
+//! it was written. When hybrid page allocation is enabled, each tenant's
+//! allocation mode is also switched to match its observed characteristic.
+
+use crate::allocator::ChannelAllocator;
+use crate::features::{FeatureVector, TENANTS};
+use crate::hybrid;
+use crate::strategy::Strategy;
+use flash_sim::sim::Reallocation;
+use flash_sim::{IoRequest, SimError, SimReport, Simulator, SsdConfig, TenantLayout};
+use workloads::{IntensityScale, ObservedFeatures};
+
+/// Keeper configuration.
+#[derive(Debug, Clone)]
+pub struct KeeperConfig {
+    /// Device model.
+    pub ssd: SsdConfig,
+    /// Observation window `T` in nanoseconds.
+    pub observe_window_ns: u64,
+    /// Whether the hybrid page allocator is active.
+    pub hybrid: bool,
+}
+
+impl Default for KeeperConfig {
+    fn default() -> Self {
+        Self {
+            ssd: SsdConfig::scaled_for_sweeps(),
+            observe_window_ns: 50_000_000, // 50 ms
+            hybrid: true,
+        }
+    }
+}
+
+/// Result of an adaptive run.
+#[derive(Debug, Clone)]
+pub struct KeeperOutcome {
+    /// Simulator report for the full trace.
+    pub report: SimReport,
+    /// The strategy SSDKeeper selected at `t == T`.
+    pub strategy: Strategy,
+    /// The features it selected on.
+    pub features: FeatureVector,
+}
+
+/// One strategy decision of a periodic run.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Simulated time the new strategy took effect.
+    pub at_ns: u64,
+    /// The window features it was based on.
+    pub features: FeatureVector,
+    /// The strategy chosen.
+    pub strategy: Strategy,
+}
+
+/// Result of [`Keeper::run_adaptive_periodic`].
+#[derive(Debug, Clone)]
+pub struct PeriodicOutcome {
+    /// Simulator report for the full trace.
+    pub report: SimReport,
+    /// Every strategy *change* (unchanged predictions are not recorded).
+    pub decisions: Vec<Decision>,
+}
+
+/// SSDKeeper's online engine: features collector + channel allocator +
+/// hybrid page allocator wired into the simulated FTL.
+#[derive(Debug, Clone)]
+pub struct Keeper {
+    config: KeeperConfig,
+    allocator: ChannelAllocator,
+}
+
+impl Keeper {
+    /// Builds a keeper from a config and a trained allocator.
+    pub fn new(config: KeeperConfig, allocator: ChannelAllocator) -> Self {
+        Self { config, allocator }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KeeperConfig {
+        &self.config
+    }
+
+    /// Runs `trace` adaptively per Algorithm 2.
+    ///
+    /// `lpn_spaces` bound each tenant's logical footprint (up to four
+    /// tenants).
+    pub fn run_adaptive(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+    ) -> Result<KeeperOutcome, SimError> {
+        assert!(
+            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
+            "1..=4 tenants supported"
+        );
+        let tenants = lpn_spaces.len();
+        let t_ns = self.config.observe_window_ns;
+
+        // --- Features collector over [0, T). ---
+        let obs = ObservedFeatures::collect(trace, tenants, t_ns);
+        let scale = IntensityScale::new(
+            self.allocator.max_total_iops() * (t_ns as f64 / 1e9),
+        );
+        let features = FeatureVector::from_observed(&obs, &scale);
+
+        // --- Strategy prediction at t == T. ---
+        let strategy = self.allocator.predict(&features);
+        let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
+        let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
+
+        // --- Phase 1 layout: Shared, static allocation. ---
+        let mut layout = TenantLayout::shared(tenants, &self.config.ssd);
+        for (t, &space) in lpn_spaces.iter().enumerate() {
+            layout = layout.with_lpn_space(t, space);
+        }
+
+        let mut sim = Simulator::new(self.config.ssd.clone(), layout)?;
+        let policies = hybrid::policies(&rw_chars, self.config.hybrid);
+        sim.schedule_reallocation(Reallocation {
+            at_ns: t_ns,
+            entries: lists
+                .into_iter()
+                .enumerate()
+                .map(|(t, channels)| (t, channels, Some(policies[t])))
+                .collect(),
+        })?;
+        let report = sim.run(trace)?;
+        Ok(KeeperOutcome {
+            report,
+            strategy,
+            features,
+        })
+    }
+
+    /// Runs `trace` with **periodic re-observation**: after every window
+    /// of `observe_window_ns`, the features of *that window* are fed to
+    /// the allocator and the channels are re-partitioned whenever the
+    /// prediction changes.
+    ///
+    /// This is the natural extension of Algorithm 2 from one decision to a
+    /// control loop ("self-adapting" over time): workloads whose mix
+    /// drifts mid-run get re-matched instead of keeping the first
+    /// decision forever. The first window always runs `Shared`, like the
+    /// base algorithm.
+    pub fn run_adaptive_periodic(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+    ) -> Result<PeriodicOutcome, SimError> {
+        assert!(
+            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
+            "1..=4 tenants supported"
+        );
+        let tenants = lpn_spaces.len();
+        let t_ns = self.config.observe_window_ns;
+        let horizon = trace.last().map(|r| r.arrival_ns).unwrap_or(0);
+        let scale = IntensityScale::new(self.allocator.max_total_iops() * (t_ns as f64 / 1e9));
+
+        let mut layout = TenantLayout::shared(tenants, &self.config.ssd);
+        for (t, &space) in lpn_spaces.iter().enumerate() {
+            layout = layout.with_lpn_space(t, space);
+        }
+        let mut sim = Simulator::new(self.config.ssd.clone(), layout)?;
+
+        let mut decisions = Vec::new();
+        let mut current: Option<Strategy> = None;
+        let mut boundary = t_ns;
+        while boundary <= horizon.saturating_add(t_ns) {
+            let obs = ObservedFeatures::collect_range(trace, tenants, boundary - t_ns, boundary);
+            if obs.total() == 0 {
+                boundary += t_ns;
+                continue;
+            }
+            let features = FeatureVector::from_observed(&obs, &scale);
+            let strategy = self.allocator.predict(&features);
+            if current != Some(strategy) {
+                let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
+                let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
+                let policies = hybrid::policies(&rw_chars, self.config.hybrid);
+                sim.schedule_reallocation(Reallocation {
+                    at_ns: boundary,
+                    entries: lists
+                        .into_iter()
+                        .enumerate()
+                        .map(|(t, channels)| (t, channels, Some(policies[t])))
+                        .collect(),
+                })?;
+                decisions.push(Decision {
+                    at_ns: boundary,
+                    features,
+                    strategy,
+                });
+                current = Some(strategy);
+            }
+            boundary += t_ns;
+        }
+
+        let report = sim.run(trace)?;
+        Ok(PeriodicOutcome { report, decisions })
+    }
+
+    /// Runs `trace` under a fixed strategy for the whole run (the
+    /// baselines of Figure 5). Characteristics for two-part grouping and
+    /// hybrid policies are taken from the observation window, as the
+    /// adaptive run would see them.
+    pub fn run_static(
+        &self,
+        trace: &[IoRequest],
+        strategy: Strategy,
+        lpn_spaces: &[u64],
+    ) -> Result<SimReport, SimError> {
+        let tenants = lpn_spaces.len();
+        let obs = ObservedFeatures::collect(trace, tenants, self.config.observe_window_ns);
+        let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
+        let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
+        let mut layout = TenantLayout::from_channel_lists(&lists, &self.config.ssd)
+            .expect("strategy assignments are valid");
+        let policies = hybrid::policies(&rw_chars, self.config.hybrid);
+        for (t, &space) in lpn_spaces.iter().enumerate() {
+            layout = layout.with_lpn_space(t, space).with_policy(t, policies[t]);
+        }
+        Simulator::new(self.config.ssd.clone(), layout)?.run(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann::{Activation, Network};
+    use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+    fn test_config() -> KeeperConfig {
+        KeeperConfig {
+            ssd: SsdConfig {
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                ..SsdConfig::paper_table1()
+            },
+            observe_window_ns: 10_000_000,
+            hybrid: true,
+        }
+    }
+
+    fn untrained_keeper() -> Keeper {
+        let net = Network::paper_topology(Activation::Logistic, 5);
+        Keeper::new(test_config(), ChannelAllocator::new(net, 120_000.0))
+    }
+
+    fn four_tenant_trace(n: usize) -> Vec<IoRequest> {
+        let specs = [
+            TenantSpec::synthetic("a", 0.9, 8_000.0, 1 << 10),
+            TenantSpec::synthetic("b", 0.1, 12_000.0, 1 << 10),
+            TenantSpec::synthetic("c", 0.85, 4_000.0, 1 << 10),
+            TenantSpec::synthetic("d", 0.05, 6_000.0, 1 << 10),
+        ];
+        let streams: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(t, s)| generate_tenant_stream(s, t as u16, n / 4, t as u64 + 1))
+            .collect();
+        mix_chronological(&streams, n)
+    }
+
+    #[test]
+    fn adaptive_run_completes_and_reports() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(400);
+        let out = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
+        assert_eq!(out.report.total.count as usize, trace.len());
+        assert!(out.strategy.index(4) < 42);
+        // Characteristics observed in the window match the spec dominances.
+        assert_eq!(out.features.rw_char, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn adaptive_equals_static_when_prediction_is_shared() {
+        // Whatever the untrained net predicts, running the same strategy
+        // statically from t=0 must complete with the same request count.
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(300);
+        let adaptive = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
+        let fixed = keeper
+            .run_static(&trace, adaptive.strategy, &[1 << 10; 4])
+            .unwrap();
+        assert_eq!(fixed.total.count, adaptive.report.total.count);
+    }
+
+    #[test]
+    fn static_shared_and_isolated_baselines_run() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(300);
+        for s in [Strategy::Shared, Strategy::Isolated] {
+            let report = keeper.run_static(&trace, s, &[1 << 10; 4]).unwrap();
+            assert_eq!(report.total.count as usize, trace.len());
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let keeper = untrained_keeper();
+        let out = keeper.run_adaptive(&[], &[1 << 10; 4]).unwrap();
+        assert_eq!(out.report.total.count, 0);
+        assert_eq!(out.features.intensity_level, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 tenants")]
+    fn too_many_tenants_rejected() {
+        let keeper = untrained_keeper();
+        let _ = keeper.run_adaptive(&[], &[64; 5]);
+    }
+
+    #[test]
+    fn periodic_run_completes_and_records_decisions() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(600);
+        let out = keeper.run_adaptive_periodic(&trace, &[1 << 10; 4]).unwrap();
+        assert_eq!(out.report.total.count as usize, trace.len());
+        // At least the first non-empty window produces a decision; repeats
+        // of the same prediction are coalesced.
+        assert!(!out.decisions.is_empty());
+        let mut prev = None;
+        for d in &out.decisions {
+            assert!(d.strategy.index(4) < 42);
+            assert_ne!(prev, Some(d.strategy), "consecutive decisions must differ");
+            prev = Some(d.strategy);
+        }
+        // Decisions are time-ordered at window boundaries.
+        for w in out.decisions.windows(2) {
+            assert!(w[0].at_ns < w[1].at_ns);
+            assert_eq!(w[0].at_ns % keeper.config().observe_window_ns, 0);
+        }
+    }
+
+    #[test]
+    fn periodic_run_on_empty_trace_makes_no_decisions() {
+        let keeper = untrained_keeper();
+        let out = keeper.run_adaptive_periodic(&[], &[1 << 10; 4]).unwrap();
+        assert!(out.decisions.is_empty());
+        assert_eq!(out.report.total.count, 0);
+    }
+
+    #[test]
+    fn config_accessor() {
+        let keeper = untrained_keeper();
+        assert_eq!(keeper.config().observe_window_ns, 10_000_000);
+        assert!(keeper.config().hybrid);
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace profiling: quantitative characterization of a request stream.
+//!
+//! Used to validate the synthesizers against their specs (and, with
+//! [`crate::replay`], against real traces): write ratio, rate, arrival
+//! burstiness, spatial sequentiality, footprint, and access skew — the
+//! properties that drive the simulator's contention behaviour.
+
+use flash_sim::{IoRequest, Op};
+use std::collections::HashMap;
+
+/// Summary statistics of one request stream (optionally filtered to one
+/// tenant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Requests profiled.
+    pub count: usize,
+    /// Fraction of write requests.
+    pub write_ratio: f64,
+    /// Mean request size in pages.
+    pub mean_size_pages: f64,
+    /// Mean arrival rate (requests per second over the span).
+    pub iops: f64,
+    /// Squared coefficient of variation of inter-arrival gaps
+    /// (1 ≈ Poisson, ≫1 bursty, <1 regular).
+    pub interarrival_cv2: f64,
+    /// Fraction of requests that continue the previous request's extent
+    /// (`lpn == prev.lpn + prev.size`), i.e. sequential-run membership.
+    pub sequentiality: f64,
+    /// Distinct starting LPNs touched.
+    pub footprint_lpns: u64,
+    /// Share of accesses landing on the hottest 10 % of touched LPNs
+    /// (0.1 for uniform traffic, →1 for heavily skewed).
+    pub hot10_share: f64,
+}
+
+/// Profiles `trace`, optionally restricted to a single tenant.
+/// Returns `None` for an empty (post-filter) stream.
+pub fn profile(trace: &[IoRequest], tenant: Option<u16>) -> Option<TraceProfile> {
+    let reqs: Vec<&IoRequest> = trace
+        .iter()
+        .filter(|r| tenant.is_none_or(|t| r.tenant == t))
+        .collect();
+    if reqs.is_empty() {
+        return None;
+    }
+    let count = reqs.len();
+    let writes = reqs.iter().filter(|r| r.op == Op::Write).count();
+    let pages: u64 = reqs.iter().map(|r| r.size_pages as u64).sum();
+
+    let span_ns = reqs
+        .last()
+        .expect("non-empty")
+        .arrival_ns
+        .saturating_sub(reqs[0].arrival_ns)
+        .max(1);
+    let iops = count as f64 / (span_ns as f64 / 1e9);
+
+    // Inter-arrival CV².
+    let gaps: Vec<f64> = reqs
+        .windows(2)
+        .map(|w| (w[1].arrival_ns - w[0].arrival_ns) as f64)
+        .collect();
+    let interarrival_cv2 = if gaps.is_empty() {
+        0.0
+    } else {
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        }
+    };
+
+    // Sequentiality.
+    let sequential = reqs
+        .windows(2)
+        .filter(|w| w[1].lpn == w[0].lpn + w[0].size_pages as u64)
+        .count();
+    let sequentiality = if count < 2 {
+        0.0
+    } else {
+        sequential as f64 / (count - 1) as f64
+    };
+
+    // Footprint and skew.
+    let mut freq: HashMap<u64, u64> = HashMap::new();
+    for r in &reqs {
+        *freq.entry(r.lpn).or_insert(0) += 1;
+    }
+    let footprint_lpns = freq.len() as u64;
+    let mut counts: Vec<u64> = freq.into_values().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let hot_n = (counts.len().div_ceil(10)).max(1);
+    let hot_hits: u64 = counts.iter().take(hot_n).sum();
+    let hot10_share = hot_hits as f64 / count as f64;
+
+    Some(TraceProfile {
+        count,
+        write_ratio: writes as f64 / count as f64,
+        mean_size_pages: pages as f64 / count as f64,
+        iops,
+        interarrival_cv2,
+        sequentiality,
+        footprint_lpns,
+        hot10_share,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AddressPattern, ArrivalProcess, SizeDist, TenantSpec};
+    use crate::synth::generate_tenant_stream;
+
+    fn req(t: u16, op: Op, lpn: u64, size: u32, at: u64) -> IoRequest {
+        IoRequest::new(0, t, op, lpn, size, at)
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        assert!(profile(&[], None).is_none());
+        let trace = vec![req(0, Op::Read, 0, 1, 0)];
+        assert!(profile(&trace, Some(5)).is_none());
+    }
+
+    #[test]
+    fn basic_counters() {
+        let trace = vec![
+            req(0, Op::Write, 0, 2, 0),
+            req(0, Op::Read, 2, 1, 1_000),
+            req(0, Op::Read, 3, 1, 2_000),
+            req(0, Op::Read, 100, 1, 3_000),
+        ];
+        let p = profile(&trace, None).unwrap();
+        assert_eq!(p.count, 4);
+        assert_eq!(p.write_ratio, 0.25);
+        assert!((p.mean_size_pages - 1.25).abs() < 1e-12);
+        // Three of four transitions are sequential continuations except
+        // the last jump: (0,2)->2 yes, 2->3 yes, 3->100 no.
+        assert!((p.sequentiality - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.footprint_lpns, 4);
+    }
+
+    #[test]
+    fn tenant_filter_applies() {
+        let trace = vec![
+            req(0, Op::Write, 0, 1, 0),
+            req(1, Op::Read, 1, 1, 10),
+            req(1, Op::Read, 2, 1, 20),
+        ];
+        let p0 = profile(&trace, Some(0)).unwrap();
+        assert_eq!(p0.count, 1);
+        assert_eq!(p0.write_ratio, 1.0);
+        let p1 = profile(&trace, Some(1)).unwrap();
+        assert_eq!(p1.count, 2);
+        assert_eq!(p1.write_ratio, 0.0);
+    }
+
+    #[test]
+    fn uniform_synthetic_stream_profiles_as_specified() {
+        let spec = TenantSpec::synthetic("u", 0.4, 20_000.0, 1 << 14);
+        let stream = generate_tenant_stream(&spec, 0, 20_000, 1);
+        let p = profile(&stream, None).unwrap();
+        assert!((p.write_ratio - 0.4).abs() < 0.02);
+        assert!((p.iops - 20_000.0).abs() / 20_000.0 < 0.05);
+        // Poisson arrivals: CV² ≈ 1.
+        assert!((p.interarrival_cv2 - 1.0).abs() < 0.15, "cv2 {}", p.interarrival_cv2);
+        // Uniform addresses: low sequentiality, hot10 ≈ 0.1-0.2.
+        assert!(p.sequentiality < 0.01);
+        assert!(p.hot10_share < 0.3, "hot10 {}", p.hot10_share);
+    }
+
+    #[test]
+    fn sequential_runs_profile_as_sequential() {
+        let spec = TenantSpec {
+            pattern: AddressPattern::SequentialRuns { run_len: 16 },
+            ..TenantSpec::synthetic("s", 0.0, 10_000.0, 1 << 14)
+        };
+        let stream = generate_tenant_stream(&spec, 0, 8_000, 2);
+        let p = profile(&stream, None).unwrap();
+        assert!(p.sequentiality > 0.85, "sequentiality {}", p.sequentiality);
+    }
+
+    #[test]
+    fn zipf_profiles_as_skewed() {
+        let spec = TenantSpec {
+            pattern: AddressPattern::Zipf { theta: 0.9 },
+            ..TenantSpec::synthetic("z", 1.0, 10_000.0, 1 << 14)
+        };
+        let stream = generate_tenant_stream(&spec, 0, 10_000, 3);
+        let p = profile(&stream, None).unwrap();
+        assert!(p.hot10_share > 0.5, "hot10 {}", p.hot10_share);
+    }
+
+    #[test]
+    fn bursty_arrivals_profile_as_bursty() {
+        let spec = TenantSpec {
+            arrival: ArrivalProcess::OnOff {
+                on_fraction: 0.1,
+                burst_len: 64,
+            },
+            size: SizeDist::Fixed(1),
+            ..TenantSpec::synthetic("b", 0.5, 10_000.0, 1 << 12)
+        };
+        let stream = generate_tenant_stream(&spec, 0, 10_000, 4);
+        let p = profile(&stream, None).unwrap();
+        assert!(p.interarrival_cv2 > 3.0, "cv2 {}", p.interarrival_cv2);
+    }
+}

@@ -1,0 +1,93 @@
+//! A datacenter scenario: four MSR-like tenants co-located on one SSD,
+//! comparing the Shared and Isolated baselines against SSDKeeper's
+//! adaptive allocation — the workload the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example adaptive_datacenter
+//! ```
+
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper_repro::ssdkeeper::Strategy;
+use ssdkeeper_repro::workloads::msr::paper_mix_profiles;
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological};
+
+fn main() {
+    // Train a small model (a production deployment would load a saved one).
+    let spec = DatasetSpec::quick(128);
+    let learner = Learner::new(spec);
+    println!("training the strategy model on 128 labelled workloads...");
+    let model = learner.train_with(&dataset_or_generate(&learner), OptimizerChoice::AdamLogistic, 150, 3);
+    println!(
+        "model ready (test accuracy {:.1}%)\n",
+        model.history.final_accuracy() * 100.0
+    );
+    let keeper = Keeper::new(KeeperConfig::default(), model.allocator());
+
+    // Take Mix2 from the paper: a proxy server, a source-control server, a
+    // research volume, and a media server sharing the device.
+    let profile = paper_mix_profiles()[1];
+    println!(
+        "tenants ({}, intensity level {}):",
+        profile.name, profile.intensity_level
+    );
+    let iops = profile.tenant_iops(model.max_total_iops);
+    for (i, t) in profile.members.iter().enumerate() {
+        println!(
+            "  tenant {i}: {:<8} write ratio {:>3.0}%  {:>8.0} IOPS",
+            t.name(),
+            t.write_ratio() * 100.0,
+            iops[i]
+        );
+    }
+    let streams: Vec<_> = profile
+        .members
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut s = t.spec(1.0, 1 << 12);
+            s.iops = iops[i];
+            generate_tenant_stream(&s, i as u16, (40_000.0 * profile.shares[i] * 1.3) as usize, i as u64)
+        })
+        .collect();
+    let trace = mix_chronological(&streams, 40_000);
+
+    let lpn_spaces = [1u64 << 12; 4];
+    let shared = keeper.run_static(&trace, Strategy::Shared, &lpn_spaces).unwrap();
+    let isolated = keeper.run_static(&trace, Strategy::Isolated, &lpn_spaces).unwrap();
+    let adaptive = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
+
+    println!("\n{:<22} {:>14} {:>14}", "configuration", "total (us)", "vs Shared");
+    let base = shared.total_latency_metric_us();
+    for (name, metric) in [
+        ("Shared".to_string(), base),
+        ("Isolated".to_string(), isolated.total_latency_metric_us()),
+        (
+            format!("SSDKeeper ({})", adaptive.strategy),
+            adaptive.report.total_latency_metric_us(),
+        ),
+    ] {
+        println!(
+            "{:<22} {:>14.1} {:>+13.1}%",
+            name,
+            metric,
+            (1.0 - metric / base) * 100.0
+        );
+    }
+    println!("\nper-tenant mean read latency under SSDKeeper (us):");
+    for (i, t) in adaptive.report.tenants.iter().enumerate() {
+        println!(
+            "  tenant {i} ({}): read {:.1}, write {:.1}",
+            profile.members[i].name(),
+            t.read.mean_us(),
+            t.write.mean_us()
+        );
+    }
+}
+
+/// Generates the training dataset (kept out of `main` for readability).
+fn dataset_or_generate(
+    learner: &ssdkeeper_repro::ssdkeeper::learner::Learner,
+) -> ssdkeeper_repro::ssdkeeper::learner::LabelledDataset {
+    learner.generate_dataset(11)
+}

@@ -1,0 +1,165 @@
+//! A drifting workload: the tenant mix flips mid-run (read-heavy phase,
+//! then write-heavy phase). A single Algorithm 2 decision commits to the
+//! first phase's pattern; the periodic controller
+//! ([`Keeper::run_adaptive_periodic`]) re-observes every window and
+//! re-partitions when the mix changes.
+//!
+//! ```text
+//! cargo run --release --example drifting_workload
+//! ```
+
+use ssdkeeper_repro::flash_sim::IoRequest;
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper_repro::ssdkeeper::Strategy;
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+/// Builds a two-phase trace modelled on the paper's Mix3 (level 16):
+/// phase one has a dominant sequential reader (web-server-like) next to
+/// three writers; phase two hands the dominant share to the main writer.
+/// Both phases have a partitioned optimum well ahead of `Shared`, but the
+/// *right* partition differs — which is what periodic re-observation
+/// exploits.
+fn drifting_trace(per_phase: usize) -> Vec<IoRequest> {
+    // (write_ratio, pattern flavour) per tenant: t0 web-like reader,
+    // t1 research-volume writer, t2 proxy writer, t3 media writer.
+    let ratios = [0.01, 0.91, 0.97, 0.88];
+    let total_iops = 96_000.0; // intensity level 16 on the 120k scale
+    let phase = |reader_dominant: bool, offset_ns: u64, seed: u64| -> Vec<Vec<IoRequest>> {
+        let shares: [f64; 4] = if reader_dominant {
+            [0.67, 0.26, 0.03, 0.04]
+        } else {
+            [0.26, 0.67, 0.03, 0.04]
+        };
+        ratios
+            .iter()
+            .zip(shares.iter())
+            .enumerate()
+            .map(|(t, (&wr, &share))| {
+                let mut spec = TenantSpec::synthetic(format!("t{t}"), wr, total_iops * share, 1 << 12);
+                if wr < 0.5 {
+                    spec.pattern = ssdkeeper_repro::workloads::AddressPattern::SequentialRuns { run_len: 16 };
+                    spec.size = ssdkeeper_repro::workloads::SizeDist::Uniform { min: 2, max: 4 };
+                } else {
+                    spec.pattern = ssdkeeper_repro::workloads::AddressPattern::Zipf { theta: 0.85 };
+                    spec.size = ssdkeeper_repro::workloads::SizeDist::Uniform { min: 1, max: 2 };
+                }
+                let count = (per_phase as f64 * share) as usize;
+                let mut stream =
+                    generate_tenant_stream(&spec, t as u16, count.max(1), seed + t as u64);
+                for r in &mut stream {
+                    r.arrival_ns += offset_ns;
+                }
+                stream
+            })
+            .collect()
+    };
+    let phase1 = phase(true, 0, 1);
+    let phase1_end = phase1
+        .iter()
+        .filter_map(|s| s.last().map(|r| r.arrival_ns + 1))
+        .max()
+        .unwrap_or(0);
+    let phase2 = phase(false, phase1_end, 100);
+    // Concatenate per tenant so the merge sees four streams, each sorted
+    // (phase 2 arrivals all follow phase 1).
+    let streams: Vec<Vec<IoRequest>> = phase1
+        .into_iter()
+        .zip(phase2)
+        .map(|(mut a, b)| {
+            a.extend(b);
+            a
+        })
+        .collect();
+    mix_chronological(&streams, per_phase * 2)
+}
+
+fn main() {
+    // Reuse a previously trained model when available (produced by
+    // `exp --bin fig4`); otherwise train a small one on the spot.
+    let allocator = match ssdkeeper_repro::ssdkeeper::model_io::load_allocator("artifacts/model.txt") {
+        Ok(allocator) => {
+            println!("loaded artifacts/model.txt");
+            allocator
+        }
+        Err(_) => {
+            println!("no saved model found; training a small one (this takes ~1 min)...");
+            let learner = Learner::new(DatasetSpec::quick(256));
+            let model = learner.train_with(
+                &learner.generate_dataset(21),
+                OptimizerChoice::AdamLogistic,
+                200,
+                2,
+            );
+            println!("model test accuracy: {:.1}%", model.history.final_accuracy() * 100.0);
+            model.allocator()
+        }
+    };
+
+    let keeper = Keeper::new(KeeperConfig::default(), allocator);
+    let trace = drifting_trace(60_000);
+    let lpn_spaces = [1u64 << 12; 4];
+    println!(
+        "drifting trace: {} requests over {:.0} ms; dominances invert halfway",
+        trace.len(),
+        trace.last().unwrap().arrival_ns as f64 / 1e6
+    );
+
+    let shared = keeper.run_static(&trace, Strategy::Shared, &lpn_spaces).unwrap();
+    let single = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
+    let periodic = keeper.run_adaptive_periodic(&trace, &lpn_spaces).unwrap();
+
+    let base = shared.total_latency_metric_us();
+    println!("\n{:<26} {:>12} {:>10}", "mode", "total (us)", "vs Shared");
+    for (name, metric) in [
+        ("Shared (no adaptation)".to_string(), base),
+        (
+            format!("one decision ({})", single.strategy),
+            single.report.total_latency_metric_us(),
+        ),
+        (
+            format!("periodic ({} switches)", periodic.decisions.len()),
+            periodic.report.total_latency_metric_us(),
+        ),
+    ] {
+        println!("{:<26} {:>12.1} {:>+9.1}%", name, metric, (1.0 - metric / base) * 100.0);
+    }
+
+    println!("\nperiodic decisions:");
+    for d in &periodic.decisions {
+        println!(
+            "  t={:>6.0} ms: {}  <- {}",
+            d.at_ns as f64 / 1e6,
+            d.strategy,
+            d.features
+        );
+    }
+
+    // Phase-wise oracle: the best static strategy for each half,
+    // evaluated exhaustively - the bound a perfect model with instant
+    // detection would approach.
+    use ssdkeeper_repro::ssdkeeper::label::{best_strategy, evaluate_all, EvalConfig};
+    let mid = trace.len() / 2;
+    let mut second_half = trace[mid..].to_vec();
+    let t0 = second_half[0].arrival_ns;
+    for r in &mut second_half {
+        r.arrival_ns -= t0;
+    }
+    let first_half = trace[..mid].to_vec();
+    println!("\nphase-wise static oracle:");
+    for (name, part) in [("phase 1", &first_half), ("phase 2", &second_half)] {
+        let evals = evaluate_all(part, 4, &lpn_spaces, &EvalConfig::default()).unwrap();
+        let best = best_strategy(&evals);
+        let shared_metric = evals
+            .iter()
+            .find(|e| e.strategy == Strategy::Shared)
+            .unwrap()
+            .metric_us;
+        println!(
+            "  {name}: {} at {:.0} us ({:+.1}% vs Shared)",
+            best.strategy,
+            best.metric_us,
+            (1.0 - best.metric_us / shared_metric) * 100.0
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end SSDKeeper lifecycle: generate labelled data (Algorithm 1),
+//! train the strategy model, persist it, reload it, and drive an adaptive
+//! run (Algorithm 2).
+//!
+//! ```text
+//! cargo run --release --example train_and_deploy
+//! ```
+//!
+//! Uses deliberately small counts so the whole pipeline finishes in about
+//! a minute; `exp --bin run_all` is the full-scale version.
+
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper_repro::ssdkeeper::ChannelAllocator;
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+fn main() {
+    // --- Offline: label synthetic mixed workloads and train. ---
+    let spec = DatasetSpec::quick(96);
+    let max_iops = spec.max_total_iops;
+    let learner = Learner::new(spec);
+    println!("labelling 96 mixed workloads x 42 strategies (Algorithm 1)...");
+    let dataset = learner.generate_dataset(7);
+    let hist = dataset.label_histogram();
+    let classes_used = hist.iter().filter(|&&n| n > 0).count();
+    println!("dataset ready: {} samples across {} strategy classes", dataset.samples.len(), classes_used);
+
+    println!("training Adam-logistic (the paper's best configuration)...");
+    let model = learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 120, 1);
+    println!(
+        "trained in {:?}; final test accuracy {:.1}%",
+        model.history.wall_time,
+        model.history.final_accuracy() * 100.0
+    );
+
+    // --- Persist and reload, as a host would push parameters to the FTL. ---
+    let path = std::env::temp_dir().join("ssdkeeper_model.txt");
+    ann::io::save_network(&model.network, &path).expect("save model");
+    let reloaded = ann::io::load_network(&path).expect("reload model");
+    let allocator = ChannelAllocator::new(reloaded, max_iops);
+    let cost = allocator.cost();
+    println!(
+        "deployed model: {} bytes of parameters, {} multiplications per decision",
+        cost.param_bytes, cost.mults_per_decision
+    );
+
+    // --- Online: adaptive run on a fresh four-tenant mix. ---
+    let specs = [
+        TenantSpec::synthetic("prxy-like", 0.97, 20_000.0, 1 << 12),
+        TenantSpec::synthetic("web-like", 0.02, 60_000.0, 1 << 12),
+        TenantSpec::synthetic("rsrch-like", 0.90, 8_000.0, 1 << 12),
+        TenantSpec::synthetic("mds-like", 0.08, 12_000.0, 1 << 12),
+    ];
+    let streams: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(t, s)| generate_tenant_stream(s, t as u16, 10_000, 40 + t as u64))
+        .collect();
+    let trace = mix_chronological(&streams, 30_000);
+
+    let keeper = Keeper::new(KeeperConfig::default(), allocator);
+    let outcome = keeper
+        .run_adaptive(&trace, &[1 << 12; 4])
+        .expect("adaptive run");
+    println!("\nobserved features at t=T: {}", outcome.features);
+    println!("SSDKeeper chose: {}", outcome.strategy);
+    println!(
+        "total latency metric: {:.1} us (read {:.1}, write {:.1})",
+        outcome.report.total_latency_metric_us(),
+        outcome.report.read.mean_us(),
+        outcome.report.write.mean_us()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,99 @@
+//! Reproducibility across the whole stack: identical seeds must produce
+//! bit-identical traces, labels, models, and simulation reports.
+
+use ssdkeeper_repro::flash_sim::trace::{decode_trace, encode_trace};
+use ssdkeeper_repro::flash_sim::{Simulator, SsdConfig, TenantLayout};
+use ssdkeeper_repro::parallel::PoolConfig;
+use ssdkeeper_repro::ssdkeeper::label::EvalConfig;
+use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        samples: 6,
+        requests_per_sample: 400,
+        max_total_iops: 120_000.0,
+        lpn_space: 1 << 10,
+        label_tolerance: 0.02,
+        eval: EvalConfig {
+            ssd: SsdConfig {
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                ..SsdConfig::paper_table1()
+            },
+            hybrid: false,
+            pool: PoolConfig::with_workers(2),
+        },
+    }
+}
+
+#[test]
+fn trace_generation_is_seed_deterministic() {
+    let t = TenantSpec::synthetic("t", 0.4, 10_000.0, 1 << 12);
+    let a = generate_tenant_stream(&t, 0, 5_000, 42);
+    let b = generate_tenant_stream(&t, 0, 5_000, 42);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn simulation_reports_are_identical_across_runs() {
+    let cfg = SsdConfig {
+        blocks_per_plane: 64,
+        pages_per_block: 32,
+        ..SsdConfig::paper_table1()
+    };
+    let streams: Vec<_> = (0..2)
+        .map(|t| {
+            generate_tenant_stream(
+                &TenantSpec::synthetic(format!("t{t}"), 0.5, 20_000.0, 1 << 10),
+                t as u16,
+                3_000,
+                t as u64,
+            )
+        })
+        .collect();
+    let trace = mix_chronological(&streams, 6_000);
+    let run = || {
+        let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 10);
+        Simulator::new(cfg.clone(), layout).unwrap().run(&trace).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dataset_and_model_are_deterministic_even_with_parallel_labelling() {
+    // The thread pool fans strategies out, but results are collected in
+    // input order, so labels must not depend on scheduling.
+    let learner = Learner::new(spec());
+    let d1 = learner.generate_dataset(9);
+    let d2 = learner.generate_dataset(9);
+    for (a, b) in d1.samples.iter().zip(&d2.samples) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.best_metric_us, b.best_metric_us);
+    }
+    let m1 = learner.train_with(&d1, OptimizerChoice::AdamLogistic, 10, 4);
+    let m2 = learner.train_with(&d2, OptimizerChoice::AdamLogistic, 10, 4);
+    assert_eq!(m1.network, m2.network);
+    assert_eq!(m1.history.loss, m2.history.loss);
+}
+
+#[test]
+fn persisted_traces_replay_identically() {
+    let cfg = SsdConfig {
+        blocks_per_plane: 64,
+        pages_per_block: 32,
+        ..SsdConfig::paper_table1()
+    };
+    let t = TenantSpec::synthetic("t", 0.3, 15_000.0, 1 << 10);
+    let trace = generate_tenant_stream(&t, 0, 2_000, 3);
+
+    let decoded = decode_trace(encode_trace(&trace)).unwrap();
+    assert_eq!(decoded, trace);
+
+    let run = |tr: &[ssdkeeper_repro::flash_sim::IoRequest]| {
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(1 << 10);
+        Simulator::new(cfg.clone(), layout).unwrap().run(tr).unwrap()
+    };
+    assert_eq!(run(&trace), run(&decoded));
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: Algorithm 1 (label + train) feeding
+//! Algorithm 2 (observe + predict + re-allocate), across all five crates.
+
+use ssdkeeper_repro::flash_sim::SsdConfig;
+use ssdkeeper_repro::parallel::PoolConfig;
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::label::EvalConfig;
+use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper_repro::ssdkeeper::Strategy;
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+fn small_spec(samples: usize) -> DatasetSpec {
+    DatasetSpec {
+        samples,
+        requests_per_sample: 600,
+        max_total_iops: 120_000.0,
+        lpn_space: 1 << 10,
+        label_tolerance: 0.02,
+        eval: EvalConfig {
+            ssd: SsdConfig {
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                ..SsdConfig::paper_table1()
+            },
+            hybrid: false,
+            pool: PoolConfig::with_workers(1),
+        },
+    }
+}
+
+#[test]
+fn pipeline_produces_a_working_allocator() {
+    let learner = Learner::new(small_spec(24));
+    let dataset = learner.generate_dataset(5);
+    assert_eq!(dataset.samples.len(), 24);
+    assert!(dataset.samples.iter().all(|s| s.label < 42));
+
+    let model = learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 30, 1);
+    assert_eq!(model.history.loss.len(), 30);
+    assert!(
+        model.history.final_loss() < model.history.loss[0],
+        "training must reduce loss: {:?}",
+        model.history.loss
+    );
+
+    // The deployed allocator must serve predictions for any feature vector.
+    let allocator = model.allocator();
+    let keeper = Keeper::new(
+        KeeperConfig {
+            ssd: small_spec(1).eval.ssd,
+            observe_window_ns: 10_000_000,
+            hybrid: true,
+        },
+        allocator,
+    );
+    let streams: Vec<_> = [
+        TenantSpec::synthetic("a", 0.9, 20_000.0, 1 << 10),
+        TenantSpec::synthetic("b", 0.1, 30_000.0, 1 << 10),
+        TenantSpec::synthetic("c", 0.95, 10_000.0, 1 << 10),
+        TenantSpec::synthetic("d", 0.05, 20_000.0, 1 << 10),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(t, s)| generate_tenant_stream(s, t as u16, 2_000, t as u64))
+    .collect();
+    let trace = mix_chronological(&streams, 6_000);
+
+    let outcome = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
+    assert_eq!(outcome.report.total.count as usize, trace.len());
+    assert!(outcome.strategy.index(4) < 42);
+    // The observed characteristics must match the tenants' dominances.
+    assert_eq!(outcome.features.rw_char, [0, 1, 0, 1]);
+}
+
+#[test]
+fn model_round_trips_through_text_format_with_identical_predictions() {
+    let learner = Learner::new(small_spec(16));
+    let dataset = learner.generate_dataset(6);
+    let model = learner.train_with(&dataset, OptimizerChoice::AdamRelu, 15, 2);
+
+    let text = ann::io::format_network(&model.network);
+    let reloaded = ann::io::parse_network(&text).unwrap();
+    assert_eq!(reloaded, model.network);
+
+    let original = ssdkeeper_repro::ssdkeeper::ChannelAllocator::new(
+        model.network.clone(),
+        model.max_total_iops,
+    );
+    let restored = ssdkeeper_repro::ssdkeeper::ChannelAllocator::new(reloaded, model.max_total_iops);
+    for s in &dataset.samples {
+        assert_eq!(original.predict(&s.features), restored.predict(&s.features));
+    }
+}
+
+#[test]
+fn adaptive_run_tracks_the_statically_best_strategy_on_a_clear_case() {
+    // Construct a case where the device is overwhelmed unless readers get
+    // most channels: a light writer and an overwhelming reader group.
+    let learner = Learner::new(small_spec(1));
+    let _ = learner; // (training skipped; this test checks ground truth)
+
+    let cfg = small_spec(1).eval.ssd;
+    let specs = [
+        TenantSpec::synthetic("w", 1.0, 6_000.0, 1 << 10),
+        TenantSpec::synthetic("r1", 0.0, 40_000.0, 1 << 10),
+        TenantSpec::synthetic("r2", 0.0, 40_000.0, 1 << 10),
+        TenantSpec::synthetic("r3", 0.0, 30_000.0, 1 << 10),
+    ];
+    let streams: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(t, s)| generate_tenant_stream(s, t as u16, 3_000, 77 + t as u64))
+        .collect();
+    let trace = mix_chronological(&streams, 10_000);
+
+    let eval = EvalConfig {
+        ssd: cfg,
+        hybrid: false,
+        pool: PoolConfig::with_workers(1),
+    };
+    let evals =
+        ssdkeeper_repro::ssdkeeper::label::evaluate_all(&trace, 4, &[1 << 10; 4], &eval).unwrap();
+    let best = ssdkeeper_repro::ssdkeeper::label::best_strategy_with_tolerance(&evals, 0.02);
+    // Giving the writer most channels must be far from optimal here.
+    let write_hog = evals
+        .iter()
+        .find(|e| e.strategy == Strategy::TwoPart { write_channels: 7 })
+        .unwrap();
+    assert!(
+        best.metric_us * 2.0 < write_hog.metric_us,
+        "7:1 ({:.0}us) should be at least 2x worse than best {} ({:.0}us)",
+        write_hog.metric_us,
+        best.strategy,
+        best.metric_us
+    );
+}

@@ -1,0 +1,86 @@
+//! The offline label generator extracts features from whole traces
+//! (rate-based level); the online keeper extracts them from a fixed
+//! observation window (count-based level with a window-calibrated scale).
+//! For stationary workloads the two views must agree — otherwise the
+//! model would be trained and queried in different coordinate systems.
+
+use ssdkeeper_repro::ssdkeeper::features::TENANTS;
+use ssdkeeper_repro::ssdkeeper::FeatureVector;
+use ssdkeeper_repro::workloads::{
+    generate_tenant_stream, mix_chronological, IntensityScale, ObservedFeatures, TenantSpec,
+};
+
+const MAX_IOPS: f64 = 120_000.0;
+
+fn stationary_mix(total_iops: f64, n: usize) -> Vec<ssdkeeper_repro::flash_sim::IoRequest> {
+    let shares = [0.4, 0.3, 0.2, 0.1];
+    let ratios = [0.9, 0.1, 0.8, 0.2];
+    let streams: Vec<_> = shares
+        .iter()
+        .zip(ratios.iter())
+        .enumerate()
+        .map(|(t, (&share, &wr))| {
+            let spec = TenantSpec::synthetic(
+                format!("t{t}"),
+                wr,
+                (total_iops * share).max(1.0),
+                1 << 12,
+            );
+            generate_tenant_stream(&spec, t as u16, (n as f64 * share * 1.5) as usize, t as u64)
+        })
+        .collect();
+    mix_chronological(&streams, n)
+}
+
+#[test]
+fn window_and_trace_features_agree_for_stationary_workloads() {
+    for &total_iops in &[20_000.0f64, 60_000.0, 100_000.0] {
+        let trace = stationary_mix(total_iops, 30_000);
+
+        // Offline view (label generation).
+        let offline = FeatureVector::from_trace(&trace, TENANTS, MAX_IOPS);
+
+        // Online view (keeper): a 100 ms window.
+        let window_ns = 100_000_000u64;
+        let obs = ObservedFeatures::collect(&trace, TENANTS, window_ns);
+        let scale = IntensityScale::new(MAX_IOPS * (window_ns as f64 / 1e9));
+        let online = FeatureVector::from_observed(&obs, &scale);
+
+        let dl = (offline.intensity_level as i64 - online.intensity_level as i64).abs();
+        assert!(
+            dl <= 1,
+            "levels diverge at {total_iops} IOPS: offline {} vs online {}",
+            offline.intensity_level,
+            online.intensity_level
+        );
+        assert_eq!(offline.rw_char, online.rw_char, "characteristics must match");
+        for t in 0..TENANTS {
+            assert!(
+                (offline.shares[t] - online.shares[t]).abs() < 0.05,
+                "tenant {t} share diverges: {} vs {}",
+                offline.shares[t],
+                online.shares[t]
+            );
+        }
+    }
+}
+
+#[test]
+fn intensity_levels_span_the_scale() {
+    // Sweeping the true rate across [0, max] must sweep levels across
+    // 0..20 roughly linearly.
+    let mut last_level = 0;
+    for step in 1..=10 {
+        let iops = MAX_IOPS * step as f64 / 10.0 * 0.95;
+        let trace = stationary_mix(iops, 8_000);
+        let fv = FeatureVector::from_trace(&trace, TENANTS, MAX_IOPS);
+        assert!(
+            fv.intensity_level >= last_level,
+            "levels must be monotone in rate: {} then {}",
+            last_level,
+            fv.intensity_level
+        );
+        last_level = fv.intensity_level;
+    }
+    assert!(last_level >= 17, "top of the sweep should reach level >=17, got {last_level}");
+}
