@@ -91,7 +91,7 @@ impl std::fmt::Display for Activation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     const ALL: [Activation; 4] = [
         Activation::ReLU,
@@ -148,33 +148,43 @@ mod tests {
         assert_eq!(Activation::from_name("bogus"), None);
     }
 
-    proptest! {
-        /// Numeric derivative matches derivative_from_output at smooth points.
-        #[test]
-        fn derivative_matches_finite_difference(x in -3.0f32..3.0) {
+    /// Numeric derivative matches derivative_from_output at smooth
+    /// points, over a seeded sweep of inputs.
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let mut rng = SimRng::seed_from_u64(101);
+        for _ in 0..512 {
+            let x: f32 = rng.gen_range(-3.0f32..3.0);
             let h = 1e-3f32;
             for act in [Activation::Logistic, Activation::Tanh, Activation::Identity] {
                 let y = act.apply(x);
                 let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
                 let analytic = act.derivative_from_output(y);
-                prop_assert!((numeric - analytic).abs() < 5e-3, "{act} at {x}: {numeric} vs {analytic}");
+                assert!(
+                    (numeric - analytic).abs() < 5e-3,
+                    "{act} at {x}: {numeric} vs {analytic}"
+                );
             }
             // ReLU away from the kink.
             if x.abs() > 0.01 {
                 let act = Activation::ReLU;
                 let y = act.apply(x);
                 let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
-                prop_assert!((numeric - act.derivative_from_output(y)).abs() < 5e-3);
+                assert!((numeric - act.derivative_from_output(y)).abs() < 5e-3);
             }
         }
+    }
 
-        /// Logistic output always lies in (0, 1); tanh in (-1, 1).
-        #[test]
-        fn bounded_outputs(x in -50.0f32..50.0) {
+    /// Logistic output always lies in (0, 1); tanh in (-1, 1).
+    #[test]
+    fn bounded_outputs() {
+        let mut rng = SimRng::seed_from_u64(102);
+        for _ in 0..2048 {
+            let x: f32 = rng.gen_range(-50.0f32..50.0);
             let l = Activation::Logistic.apply(x);
-            prop_assert!((0.0..=1.0).contains(&l));
+            assert!((0.0..=1.0).contains(&l));
             let t = Activation::Tanh.apply(x);
-            prop_assert!((-1.0..=1.0).contains(&t));
+            assert!((-1.0..=1.0).contains(&t));
         }
     }
 }

@@ -1,8 +1,8 @@
 //! Labelled datasets: storage, shuffling, splitting, batching.
 
 use crate::matrix::Matrix;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use simrng::Rng;
+use simrng::SliceRandom;
 
 /// A classification dataset: feature matrix plus integer labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,7 +142,6 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn sample() -> Dataset {
         let x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f32);
@@ -200,7 +199,7 @@ mod tests {
     #[test]
     fn shuffle_is_a_permutation() {
         let d = sample();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = simrng::SimRng::seed_from_u64(3);
         let s = d.shuffled(&mut rng);
         assert_eq!(s.len(), d.len());
         let mut a = s.class_histogram();
@@ -219,8 +218,8 @@ mod tests {
     #[test]
     fn shuffle_with_same_seed_is_deterministic() {
         let d = sample();
-        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
-        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r1 = simrng::SimRng::seed_from_u64(9);
+        let mut r2 = simrng::SimRng::seed_from_u64(9);
         assert_eq!(d.shuffled(&mut r1), d.shuffled(&mut r2));
     }
 

@@ -94,7 +94,9 @@ pub fn parse_network(text: &str) -> Result<Network, ModelIoError> {
     if header.trim() != "ann-v1" {
         return Err(parse_err(ln, format!("bad header `{header}`")));
     }
-    let (ln, count_line) = lines.next().ok_or_else(|| parse_err(2, "missing layer count"))?;
+    let (ln, count_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing layer count"))?;
     let count: usize = count_line
         .strip_prefix("layers ")
         .and_then(|s| s.trim().parse().ok())
@@ -105,7 +107,9 @@ pub fn parse_network(text: &str) -> Result<Network, ModelIoError> {
 
     let mut layers = Vec::with_capacity(count);
     for _ in 0..count {
-        let (ln, meta) = lines.next().ok_or_else(|| parse_err(0, "missing layer header"))?;
+        let (ln, meta) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "missing layer header"))?;
         let mut parts = meta.split_whitespace();
         if parts.next() != Some("layer") {
             return Err(parse_err(ln, "expected `layer <in> <out> <act>`"));
@@ -126,9 +130,13 @@ pub fn parse_network(text: &str) -> Result<Network, ModelIoError> {
             .and_then(Activation::from_name)
             .ok_or_else(|| parse_err(ln, "bad activation"))?;
 
-        let (ln_w, w_line) = lines.next().ok_or_else(|| parse_err(ln, "missing weights"))?;
+        let (ln_w, w_line) = lines
+            .next()
+            .ok_or_else(|| parse_err(ln, "missing weights"))?;
         let w_vals = parse_float_line(w_line, 'w', fan_in * fan_out, ln_w)?;
-        let (ln_b, b_line) = lines.next().ok_or_else(|| parse_err(ln, "missing biases"))?;
+        let (ln_b, b_line) = lines
+            .next()
+            .ok_or_else(|| parse_err(ln, "missing biases"))?;
         let b_vals = parse_float_line(b_line, 'b', fan_out, ln_b)?;
 
         layers.push(Dense {

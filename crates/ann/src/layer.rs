@@ -2,7 +2,7 @@
 
 use crate::activation::Activation;
 use crate::matrix::Matrix;
-use rand::Rng;
+use simrng::Rng;
 
 /// A dense layer: `a = act(x · w + b)` with `w: [in, out]`, `b: [out]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,9 +28,13 @@ impl Dense {
     /// Creates a layer with He/Xavier-style uniform initialization:
     /// weights in `±sqrt(6 / (fan_in + fan_out))`, biases zero.
     pub fn new(fan_in: usize, fan_out: usize, act: Activation, rng: &mut impl Rng) -> Self {
-        assert!(fan_in > 0 && fan_out > 0, "layer dimensions must be positive");
-        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
-        let w = Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit));
+        assert!(
+            fan_in > 0 && fan_out > 0,
+            "layer dimensions must be positive"
+        );
+        let w = Matrix::from_fn(fan_in, fan_out, |_, _| {
+            simrng::dist::xavier_uniform(rng, fan_in, fan_out)
+        });
         Self {
             w,
             b: vec![0.0; fan_out],
@@ -103,10 +107,9 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(7)
+    fn rng() -> simrng::SimRng {
+        simrng::SimRng::seed_from_u64(7)
     }
 
     #[test]

@@ -35,7 +35,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod activation;
 pub mod data;
 pub mod io;

@@ -220,7 +220,7 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, RngCore, SimRng};
 
     fn approx(a: &Matrix, b: &Matrix, eps: f32) -> bool {
         a.rows() == b.rows()
@@ -300,32 +300,48 @@ mod tests {
         assert_eq!(g, Matrix::from_rows(&[&[3.0], &[1.0], &[3.0]]));
     }
 
-    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-3.0f32..3.0, rows * cols)
-            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    fn random_matrix(rows: usize, cols: usize, rng: &mut impl RngCore) -> Matrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-3.0f32..3.0))
+            .collect();
+        Matrix::from_vec(rows, cols, data)
     }
 
-    proptest! {
-        /// t_matmul(a, b) equals transpose(a).matmul(b).
-        #[test]
-        fn t_matmul_matches_explicit_transpose(a in arb_matrix(4, 3), b in arb_matrix(4, 5)) {
+    /// t_matmul(a, b) equals transpose(a).matmul(b).
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = SimRng::seed_from_u64(301);
+        for _ in 0..64 {
+            let a = random_matrix(4, 3, &mut rng);
+            let b = random_matrix(4, 5, &mut rng);
             let at = Matrix::from_fn(3, 4, |i, j| a.get(j, i));
-            prop_assert!(approx(&a.t_matmul(&b), &at.matmul(&b), 1e-4));
+            assert!(approx(&a.t_matmul(&b), &at.matmul(&b), 1e-4));
         }
+    }
 
-        /// matmul_t(a, b) equals a.matmul(transpose(b)).
-        #[test]
-        fn matmul_t_matches_explicit_transpose(a in arb_matrix(4, 3), b in arb_matrix(5, 3)) {
+    /// matmul_t(a, b) equals a.matmul(transpose(b)).
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = SimRng::seed_from_u64(302);
+        for _ in 0..64 {
+            let a = random_matrix(4, 3, &mut rng);
+            let b = random_matrix(5, 3, &mut rng);
             let bt = Matrix::from_fn(3, 5, |i, j| b.get(j, i));
-            prop_assert!(approx(&a.matmul_t(&b), &a.matmul(&bt), 1e-4));
+            assert!(approx(&a.matmul_t(&b), &a.matmul(&bt), 1e-4));
         }
+    }
 
-        /// (a·b)·c == a·(b·c) within float tolerance.
-        #[test]
-        fn matmul_associative(a in arb_matrix(2, 3), b in arb_matrix(3, 4), c in arb_matrix(4, 2)) {
+    /// (a·b)·c == a·(b·c) within float tolerance.
+    #[test]
+    fn matmul_associative() {
+        let mut rng = SimRng::seed_from_u64(303);
+        for _ in 0..64 {
+            let a = random_matrix(2, 3, &mut rng);
+            let b = random_matrix(3, 4, &mut rng);
+            let c = random_matrix(4, 2, &mut rng);
             let l = a.matmul(&b).matmul(&c);
             let r = a.matmul(&b.matmul(&c));
-            prop_assert!(approx(&l, &r, 1e-3));
+            assert!(approx(&l, &r, 1e-3));
         }
     }
 }

@@ -4,7 +4,6 @@ use crate::activation::Activation;
 use crate::layer::{Dense, DenseGrads};
 use crate::loss::{softmax_cross_entropy, softmax_rows};
 use crate::matrix::Matrix;
-use rand::SeedableRng;
 
 /// A feed-forward network. The last layer emits logits (identity
 /// activation); classification probabilities come from softmax in the
@@ -17,7 +16,7 @@ pub struct Network {
 /// Builder for [`Network`]; see [`Network::builder`].
 pub struct NetworkBuilder {
     input: usize,
-    rng: rand::rngs::StdRng,
+    rng: simrng::SimRng,
     layers: Vec<Dense>,
     output_done: bool,
 }
@@ -28,7 +27,7 @@ impl Network {
     pub fn builder(input: usize, seed: u64) -> NetworkBuilder {
         NetworkBuilder {
             input,
-            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            rng: simrng::SimRng::seed_from_u64(seed),
             layers: Vec::new(),
             output_done: false,
         }
@@ -37,7 +36,10 @@ impl Network {
     /// The paper's topology: 9 input features, one hidden layer of 64
     /// neurons with the given activation, 42 output classes (§IV-D).
     pub fn paper_topology(hidden_act: Activation, seed: u64) -> Self {
-        Self::builder(9, seed).hidden(64, hidden_act).output(42).build()
+        Self::builder(9, seed)
+            .hidden(64, hidden_act)
+            .output(42)
+            .build()
     }
 
     /// Constructs directly from layers (used by [`crate::io`]).
@@ -49,11 +51,7 @@ impl Network {
     pub fn from_layers(layers: Vec<Dense>) -> Self {
         assert!(!layers.is_empty(), "a network needs at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(
-                pair[0].fan_out(),
-                pair[1].fan_in(),
-                "layer width mismatch"
-            );
+            assert_eq!(pair[0].fan_out(), pair[1].fan_in(), "layer width mismatch");
         }
         Self { layers }
     }
@@ -173,7 +171,8 @@ impl NetworkBuilder {
     pub fn hidden(mut self, width: usize, act: Activation) -> Self {
         assert!(!self.output_done, "output layer already added");
         let fan_in = self.layers.last().map_or(self.input, Dense::fan_out);
-        self.layers.push(Dense::new(fan_in, width, act, &mut self.rng));
+        self.layers
+            .push(Dense::new(fan_in, width, act, &mut self.rng));
         self
     }
 
@@ -181,8 +180,12 @@ impl NetworkBuilder {
     pub fn output(mut self, classes: usize) -> Self {
         assert!(!self.output_done, "output layer already added");
         let fan_in = self.layers.last().map_or(self.input, Dense::fan_out);
-        self.layers
-            .push(Dense::new(fan_in, classes, Activation::Identity, &mut self.rng));
+        self.layers.push(Dense::new(
+            fan_in,
+            classes,
+            Activation::Identity,
+            &mut self.rng,
+        ));
         self.output_done = true;
         self
     }
@@ -194,13 +197,15 @@ impl NetworkBuilder {
     /// Panics if [`NetworkBuilder::output`] was never called.
     pub fn build(self) -> Network {
         assert!(self.output_done, "call .output(classes) before .build()");
-        Network { layers: self.layers }
+        Network {
+            layers: self.layers,
+        }
     }
 }
 
 /// A fresh seeded RNG, for custom layer initialization in tests/examples.
-pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> simrng::SimRng {
+    simrng::SimRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -208,7 +213,10 @@ mod tests {
     use super::*;
 
     fn tiny_net() -> Network {
-        Network::builder(2, 1).hidden(4, Activation::Tanh).output(3).build()
+        Network::builder(2, 1)
+            .hidden(4, Activation::Tanh)
+            .output(3)
+            .build()
     }
 
     #[test]

@@ -224,7 +224,12 @@ impl Optimizer for Adam {
             .v
             .entry(slot)
             .or_insert_with(|| vec![0.0; params.len()]);
-        for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut()) {
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
             let m_hat = *m / bc1;
@@ -319,7 +324,10 @@ mod tests {
             steps.push((before - p[0]).abs());
         }
         for w in steps.windows(2) {
-            assert!(w[1] < w[0] + 1e-9, "AdaGrad step sizes must shrink: {steps:?}");
+            assert!(
+                w[1] < w[0] + 1e-9,
+                "AdaGrad step sizes must shrink: {steps:?}"
+            );
         }
     }
 

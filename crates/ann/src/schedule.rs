@@ -173,7 +173,10 @@ mod tests {
 
     #[test]
     fn step_schedule_decays_at_boundaries() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -182,7 +185,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_endpoints() {
-        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-9);
         assert!((s.factor(100) - 0.1).abs() < 1e-9);
         assert!((s.factor(200) - 0.1).abs() < 1e-9, "clamps past the cycle");
@@ -192,14 +198,23 @@ mod tests {
 
     #[test]
     fn cosine_is_monotone_decreasing() {
-        let s = LrSchedule::Cosine { total: 50, floor: 0.0 };
+        let s = LrSchedule::Cosine {
+            total: 50,
+            floor: 0.0,
+        };
         let factors: Vec<f64> = (0..=50).map(|e| s.factor(e)).collect();
         assert!(factors.windows(2).all(|w| w[1] <= w[0] + 1e-12));
     }
 
     #[test]
     fn scheduled_sgd_scales_steps() {
-        let mut opt = Scheduled::new(Sgd::new(1.0), LrSchedule::Step { every: 1, gamma: 0.5 });
+        let mut opt = Scheduled::new(
+            Sgd::new(1.0),
+            LrSchedule::Step {
+                every: 1,
+                gamma: 0.5,
+            },
+        );
         let mut p = vec![0.0f32];
         opt.update(0, &mut p, &[1.0]);
         assert!((p[0] + 1.0).abs() < 1e-6, "epoch 0: full step");

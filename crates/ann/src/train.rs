@@ -9,7 +9,6 @@ use crate::data::Dataset;
 use crate::metrics::accuracy;
 use crate::network::Network;
 use crate::optimizer::Optimizer;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Per-iteration training record.
@@ -77,7 +76,7 @@ impl Trainer {
         );
         let start = Instant::now();
         let mut history = TrainHistory::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = simrng::SimRng::seed_from_u64(self.seed);
 
         for _epoch in 0..self.epochs {
             let shuffled = train.shuffled(&mut rng);
@@ -93,9 +92,11 @@ impl Trainer {
                     opt.update(li * 2 + 1, b.as_mut_slice(), &g.b);
                 }
             }
-            history
-                .loss
-                .push(if batches == 0 { 0.0 } else { (epoch_loss / batches as f64) as f32 });
+            history.loss.push(if batches == 0 {
+                0.0
+            } else {
+                (epoch_loss / batches as f64) as f32
+            });
             if let Some(test) = test {
                 history.test_accuracy.push(accuracy(net, test));
             }
@@ -118,7 +119,9 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (u32::MAX as f32)) - 0.5
         };
         for i in 0..n {
@@ -135,13 +138,20 @@ mod tests {
     fn training_reduces_loss_and_reaches_high_accuracy() {
         let data = blobs(200);
         let (train, test) = data.split(0.7);
-        let mut net = Network::builder(2, 5).hidden(8, Activation::ReLU).output(2).build();
+        let mut net = Network::builder(2, 5)
+            .hidden(8, Activation::ReLU)
+            .output(2)
+            .build();
         let mut opt = Adam::new(0.05);
         let mut trainer = Trainer::new(30, 16, 1);
         let history = trainer.fit(&mut net, &train, Some(&test), &mut opt);
         assert_eq!(history.loss.len(), 30);
         assert_eq!(history.test_accuracy.len(), 30);
-        assert!(history.final_loss() < history.loss[0] * 0.5, "{:?}", history.loss);
+        assert!(
+            history.final_loss() < history.loss[0] * 0.5,
+            "{:?}",
+            history.loss
+        );
         assert!(history.final_accuracy() > 0.95);
         assert!(history.wall_time > Duration::ZERO);
     }
@@ -150,8 +160,14 @@ mod tests {
     fn sgd_and_momentum_also_learn_blobs() {
         let data = blobs(200);
         let (train, test) = data.split(0.7);
-        for opt in [&mut Sgd::new(0.2) as &mut dyn Optimizer, &mut Momentum::new(0.2, 0.9)] {
-            let mut net = Network::builder(2, 5).hidden(8, Activation::Logistic).output(2).build();
+        for opt in [
+            &mut Sgd::new(0.2) as &mut dyn Optimizer,
+            &mut Momentum::new(0.2, 0.9),
+        ] {
+            let mut net = Network::builder(2, 5)
+                .hidden(8, Activation::Logistic)
+                .output(2)
+                .build();
             let mut trainer = Trainer::new(40, 16, 1);
             let history = trainer.fit(&mut net, &train, Some(&test), opt);
             assert!(
@@ -166,7 +182,10 @@ mod tests {
     #[test]
     fn fit_without_test_set_skips_accuracy() {
         let data = blobs(40);
-        let mut net = Network::builder(2, 5).hidden(4, Activation::Tanh).output(2).build();
+        let mut net = Network::builder(2, 5)
+            .hidden(4, Activation::Tanh)
+            .output(2)
+            .build();
         let mut opt = Sgd::new(0.1);
         let history = Trainer::new(3, 8, 1).fit(&mut net, &data, None, &mut opt);
         assert_eq!(history.loss.len(), 3);
@@ -185,7 +204,10 @@ mod tests {
     fn training_is_deterministic_given_seeds() {
         let data = blobs(80);
         let run = || {
-            let mut net = Network::builder(2, 5).hidden(4, Activation::ReLU).output(2).build();
+            let mut net = Network::builder(2, 5)
+                .hidden(4, Activation::ReLU)
+                .output(2)
+                .build();
             let mut opt = Adam::new(0.02);
             let h = Trainer::new(5, 8, 7).fit(&mut net, &data, None, &mut opt);
             (net, h.loss)
@@ -200,7 +222,10 @@ mod tests {
     #[should_panic(expected = "feature width")]
     fn fit_rejects_mismatched_width() {
         let data = blobs(10);
-        let mut net = Network::builder(3, 5).hidden(4, Activation::ReLU).output(2).build();
+        let mut net = Network::builder(3, 5)
+            .hidden(4, Activation::ReLU)
+            .output(2)
+            .build();
         let mut opt = Sgd::new(0.1);
         let _ = Trainer::new(1, 4, 1).fit(&mut net, &data, None, &mut opt);
     }

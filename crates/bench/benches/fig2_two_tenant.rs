@@ -1,22 +1,22 @@
 //! Figure 2 bench: simulate the two-tenant writer/reader mix under each
 //! of the 8 two-tenant strategies at representative write proportions.
 //!
-//! The criterion numbers measure simulator throughput per strategy; the
+//! The timing numbers measure simulator throughput per strategy; the
 //! latency *results* the paper plots come from `exp --bin fig2`.
 
+use bench::harness::Group;
 use bench::{bench_ssd, two_tenant_mix};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parallel::PoolConfig;
 use ssdkeeper::label::{run_under_strategy, EvalConfig};
 use ssdkeeper::Strategy;
 
-fn fig2_strategies(c: &mut Criterion) {
+fn fig2_strategies() {
     let eval = EvalConfig {
         ssd: bench_ssd(),
         hybrid: false,
         pool: PoolConfig::with_workers(1),
     };
-    let mut group = c.benchmark_group("fig2");
+    let mut group = Group::new("fig2");
     group.sample_size(10);
     for &write_pct in &[30u32, 70] {
         let trace = two_tenant_mix(write_pct, 3_000, 70_000.0);
@@ -26,20 +26,15 @@ fn fig2_strategies(c: &mut Criterion) {
             Strategy::TwoPart { write_channels: 2 },
             Strategy::TwoPart { write_channels: 6 },
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("wp{write_pct}"), strategy),
-                &trace,
-                |b, trace| {
-                    b.iter(|| {
-                        run_under_strategy(trace, strategy, &[0, 1], &[1 << 10, 1 << 10], &eval)
-                            .expect("bench workload fits the device")
-                    })
-                },
-            );
+            group.bench(&format!("wp{write_pct}/{strategy}"), || {
+                run_under_strategy(&trace, strategy, &[0, 1], &[1 << 10, 1 << 10], &eval)
+                    .expect("bench workload fits the device")
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, fig2_strategies);
-criterion_main!(benches);
+fn main() {
+    fig2_strategies();
+}

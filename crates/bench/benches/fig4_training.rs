@@ -5,14 +5,14 @@
 //! per-epoch cost on this machine for the same four configurations (plus
 //! the AdaGrad/RMSProp components as ablations).
 
+use bench::harness::Group;
 use bench::tiny_dataset;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 
-fn training_epoch(c: &mut Criterion) {
+fn training_epoch() {
     let dataset = tiny_dataset();
     let learner = Learner::new(DatasetSpec::quick(1));
-    let mut group = c.benchmark_group("fig4_training_epoch");
+    let mut group = Group::new("fig4_training_epoch");
     group.sample_size(20);
     let choices = [
         OptimizerChoice::Sgd,
@@ -23,29 +23,25 @@ fn training_epoch(c: &mut Criterion) {
         OptimizerChoice::RmsProp,
     ];
     for choice in choices {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(choice.name()),
-            &dataset,
-            |b, dataset| {
-                b.iter(|| learner.train_with(dataset, choice, 1, 7));
-            },
-        );
+        group.bench(choice.name(), || learner.train_with(&dataset, choice, 1, 7));
     }
     group.finish();
 }
 
-fn full_200_iteration_fit(c: &mut Criterion) {
+fn full_200_iteration_fit() {
     // The paper's Table III measures a full 200-iteration fit; bench the
     // best configuration end to end on the tiny dataset.
     let dataset = tiny_dataset();
     let learner = Learner::new(DatasetSpec::quick(1));
-    let mut group = c.benchmark_group("fig4_full_fit");
+    let mut group = Group::new("fig4_full_fit");
     group.sample_size(10);
-    group.bench_function("adam_logistic_200_iters", |b| {
-        b.iter(|| learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 200, 7));
+    group.bench("adam_logistic_200_iters", || {
+        learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 200, 7)
     });
     group.finish();
 }
 
-criterion_group!(benches, training_epoch, full_200_iteration_fit);
-criterion_main!(benches);
+fn main() {
+    training_epoch();
+    full_200_iteration_fit();
+}

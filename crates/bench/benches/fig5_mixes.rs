@@ -3,12 +3,12 @@
 //! (observe → predict → re-allocate), with and without hybrid page
 //! allocation.
 
+use bench::harness::Group;
 use bench::{bench_allocator, bench_ssd, four_tenant_mix};
-use criterion::{criterion_group, criterion_main, Criterion};
 use ssdkeeper::keeper::{Keeper, KeeperConfig};
 use ssdkeeper::Strategy;
 
-fn fig5_modes(c: &mut Criterion) {
+fn fig5_modes() {
     let trace = four_tenant_mix(3_000, 80_000.0);
     let lpn_spaces = [1u64 << 10; 4];
     let config = |hybrid| KeeperConfig {
@@ -19,22 +19,27 @@ fn fig5_modes(c: &mut Criterion) {
     let keeper = Keeper::new(config(false), bench_allocator());
     let keeper_hybrid = Keeper::new(config(true), bench_allocator());
 
-    let mut group = c.benchmark_group("fig5_modes");
+    let mut group = Group::new("fig5_modes");
     group.sample_size(10);
-    group.bench_function("shared_baseline", |b| {
-        b.iter(|| keeper.run_static(&trace, Strategy::Shared, &lpn_spaces).unwrap())
+    group.bench("shared_baseline", || {
+        keeper
+            .run_static(&trace, Strategy::Shared, &lpn_spaces)
+            .unwrap()
     });
-    group.bench_function("isolated_baseline", |b| {
-        b.iter(|| keeper.run_static(&trace, Strategy::Isolated, &lpn_spaces).unwrap())
+    group.bench("isolated_baseline", || {
+        keeper
+            .run_static(&trace, Strategy::Isolated, &lpn_spaces)
+            .unwrap()
     });
-    group.bench_function("ssdkeeper_adaptive", |b| {
-        b.iter(|| keeper.run_adaptive(&trace, &lpn_spaces).unwrap())
+    group.bench("ssdkeeper_adaptive", || {
+        keeper.run_adaptive(&trace, &lpn_spaces).unwrap()
     });
-    group.bench_function("ssdkeeper_adaptive_hybrid", |b| {
-        b.iter(|| keeper_hybrid.run_adaptive(&trace, &lpn_spaces).unwrap())
+    group.bench("ssdkeeper_adaptive_hybrid", || {
+        keeper_hybrid.run_adaptive(&trace, &lpn_spaces).unwrap()
     });
     group.finish();
 }
 
-criterion_group!(benches, fig5_modes);
-criterion_main!(benches);
+fn main() {
+    fig5_modes();
+}

@@ -5,26 +5,26 @@
 //! the actual per-decision wall time of the 9→64→42 forward pass, plus
 //! the cost of assembling the feature vector from window observations.
 
+use bench::harness::{black_box, Group};
 use bench::{bench_allocator, bench_features};
-use criterion::{criterion_group, criterion_main, Criterion};
 use flash_sim::{IoRequest, Op};
 use ssdkeeper::FeatureVector;
 use workloads::{IntensityScale, ObservedFeatures};
 
-fn inference(c: &mut Criterion) {
+fn inference() {
     let allocator = bench_allocator();
     let features = bench_features();
-    let mut group = c.benchmark_group("fig6_inference");
-    group.bench_function("predict_strategy", |b| {
-        b.iter(|| allocator.predict(criterion::black_box(&features)))
+    let mut group = Group::new("fig6_inference");
+    group.bench("predict_strategy", || {
+        allocator.predict(black_box(&features))
     });
-    group.bench_function("predict_proba", |b| {
-        b.iter(|| allocator.predict_proba(criterion::black_box(&features)))
+    group.bench("predict_proba", || {
+        allocator.predict_proba(black_box(&features))
     });
     group.finish();
 }
 
-fn feature_collection(c: &mut Criterion) {
+fn feature_collection() {
     // A 10k-request observation window.
     let trace: Vec<IoRequest> = (0..10_000)
         .map(|i| {
@@ -33,15 +33,15 @@ fn feature_collection(c: &mut Criterion) {
         })
         .collect();
     let scale = IntensityScale::new(10_000.0);
-    let mut group = c.benchmark_group("features_collector");
-    group.bench_function("collect_10k_window", |b| {
-        b.iter(|| {
-            let obs = ObservedFeatures::collect(&trace, 4, u64::MAX);
-            FeatureVector::from_observed(&obs, &scale)
-        })
+    let mut group = Group::new("features_collector");
+    group.bench("collect_10k_window", || {
+        let obs = ObservedFeatures::collect(&trace, 4, u64::MAX);
+        FeatureVector::from_observed(&obs, &scale)
     });
     group.finish();
 }
 
-criterion_group!(benches, inference, feature_collection);
-criterion_main!(benches);
+fn main() {
+    inference();
+    feature_collection();
+}

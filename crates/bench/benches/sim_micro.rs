@@ -2,7 +2,7 @@
 //! policies, FTL write path, and trace codec.
 
 use bench::bench_ssd;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Group;
 use flash_sim::ftl::Ftl;
 use flash_sim::trace::{decode_trace, encode_trace};
 use flash_sim::{IoRequest, Op, PageAllocPolicy, Simulator, TenantLayout};
@@ -17,71 +17,76 @@ fn mixed_trace(n: u64) -> Vec<IoRequest> {
     (0..n)
         .map(|i| {
             let op = if i % 4 == 0 { Op::Write } else { Op::Read };
-            IoRequest::new(i, (i % 2) as u16, op, (i * 13) % 1024, 1 + (i % 3) as u32, i * 9_000)
+            IoRequest::new(
+                i,
+                (i % 2) as u16,
+                op,
+                (i * 13) % 1024,
+                1 + (i % 3) as u32,
+                i * 9_000,
+            )
         })
         .collect()
 }
 
-fn engine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
+fn engine_throughput() {
+    let mut group = Group::new("engine");
     for &n in &[2_000u64, 10_000] {
         let trace = mixed_trace(n);
-        group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::new("mixed_requests", n), &trace, |b, trace| {
-            b.iter(|| {
-                let cfg = bench_ssd();
-                let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 10);
-                Simulator::new(cfg, layout).unwrap().run(trace).unwrap()
-            })
+        group.throughput(n);
+        group.bench(&format!("mixed_requests/{n}"), || {
+            let cfg = bench_ssd();
+            let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 10);
+            Simulator::new(cfg, layout).unwrap().run(&trace).unwrap()
         });
     }
     group.finish();
 }
 
-fn allocation_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("page_allocation");
+fn allocation_policies() {
+    let mut group = Group::new("page_allocation");
     group.sample_size(20);
     for policy in [PageAllocPolicy::Static, PageAllocPolicy::Dynamic] {
         let trace = sequential_write_trace(5_000);
-        group.bench_with_input(BenchmarkId::from_parameter(policy), &trace, |b, trace| {
-            b.iter(|| {
-                let cfg = bench_ssd();
-                let layout = TenantLayout::shared(1, &cfg)
-                    .with_lpn_space_all(1 << 10)
-                    .with_policy(0, policy);
-                Simulator::new(cfg, layout).unwrap().run(trace).unwrap()
-            })
+        group.bench(&format!("{policy}"), || {
+            let cfg = bench_ssd();
+            let layout = TenantLayout::shared(1, &cfg)
+                .with_lpn_space_all(1 << 10)
+                .with_policy(0, policy);
+            Simulator::new(cfg, layout).unwrap().run(&trace).unwrap()
         });
     }
     group.finish();
 }
 
-fn ftl_write_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ftl");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("page_writes_with_gc", |b| {
-        let cfg = bench_ssd();
-        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(1 << 10);
-        b.iter(|| {
-            let mut ftl = Ftl::new(&cfg, &layout);
-            for i in 0..10_000u64 {
-                ftl.write(0, i % 1024, (i % 64) as usize).unwrap();
-            }
-            ftl.stats()
-        })
+fn ftl_write_path() {
+    let mut group = Group::new("ftl");
+    group.throughput(10_000);
+    let cfg = bench_ssd();
+    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(1 << 10);
+    group.bench("page_writes_with_gc", || {
+        let mut ftl = Ftl::new(&cfg, &layout);
+        for i in 0..10_000u64 {
+            ftl.write(0, i % 1024, (i % 64) as usize).unwrap();
+        }
+        ftl.stats()
     });
     group.finish();
 }
 
-fn trace_codec(c: &mut Criterion) {
+fn trace_codec() {
     let trace = mixed_trace(10_000);
     let encoded = encode_trace(&trace);
-    let mut group = c.benchmark_group("trace_codec");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("encode", |b| b.iter(|| encode_trace(&trace)));
-    group.bench_function("decode", |b| b.iter(|| decode_trace(encoded.clone()).unwrap()));
+    let mut group = Group::new("trace_codec");
+    group.throughput(10_000);
+    group.bench("encode", || encode_trace(&trace));
+    group.bench("decode", || decode_trace(&encoded).unwrap());
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, allocation_policies, ftl_write_path, trace_codec);
-criterion_main!(benches);
+fn main() {
+    engine_throughput();
+    allocation_policies();
+    ftl_write_path();
+    trace_codec();
+}

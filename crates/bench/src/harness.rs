@@ -1,0 +1,223 @@
+//! A minimal in-repo benchmark harness.
+//!
+//! The bench targets in `benches/` are plain `harness = false` binaries,
+//! so they need something to time closures and print a report. This
+//! module is that something: warmup runs, then `N` measured iterations,
+//! then a one-line `min/median/mean/p99/max` summary per benchmark. It
+//! has no external dependencies and no statistics beyond order
+//! statistics, which is all the figure-reproduction benches need — they
+//! compare the *same* binary across configurations, not across machines.
+//!
+//! Iteration counts are environment-tunable so CI can run a smoke pass:
+//!
+//! * `SSDKEEPER_BENCH_ITERS` — measured iterations per benchmark
+//!   (overrides [`Group::sample_size`]).
+//! * `SSDKEEPER_BENCH_WARMUP` — warmup iterations (default 2).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] so bench code has one import.
+pub use std::hint::black_box;
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// A named group of benchmarks sharing iteration settings, mirroring the
+/// shape of the Criterion API this harness replaced so bench targets read
+/// the same way.
+pub struct Group {
+    name: String,
+    iters: usize,
+    warmup: usize,
+    /// Optional element count per iteration; when set, the report adds a
+    /// throughput column derived from the median.
+    throughput: Option<u64>,
+}
+
+impl Group {
+    /// Creates a group with the default (or env-overridden) settings.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            // Clamped to 1: zero measured iterations leaves nothing to
+            // report.
+            iters: env_usize("SSDKEEPER_BENCH_ITERS").unwrap_or(10).max(1),
+            warmup: env_usize("SSDKEEPER_BENCH_WARMUP").unwrap_or(2),
+            throughput: None,
+        }
+    }
+
+    /// Sets the measured-iteration count (ignored when
+    /// `SSDKEEPER_BENCH_ITERS` is set).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if env_usize("SSDKEEPER_BENCH_ITERS").is_none() {
+            self.iters = n.max(1);
+        }
+        self
+    }
+
+    /// Declares that each iteration processes `elements` items.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Runs `f` for warmup + N iterations and prints a summary line.
+    ///
+    /// The closure's return value is routed through [`black_box`] so the
+    /// optimizer cannot delete the benchmarked work.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        let report = Report::from_sorted(&samples);
+        let label = format!("{}/{}", self.name, id);
+        match self.throughput {
+            Some(elems) => {
+                let per_s = elems as f64 / report.median.as_secs_f64();
+                println!(
+                    "{label:<48} iters={:<4} min={} median={} mean={} p99={} max={}  {:.2} Melem/s",
+                    self.iters,
+                    fmt(report.min),
+                    fmt(report.median),
+                    fmt(report.mean),
+                    fmt(report.p99),
+                    fmt(report.max),
+                    per_s / 1e6,
+                );
+            }
+            None => {
+                println!(
+                    "{label:<48} iters={:<4} min={} median={} mean={} p99={} max={}",
+                    self.iters,
+                    fmt(report.min),
+                    fmt(report.median),
+                    fmt(report.mean),
+                    fmt(report.p99),
+                    fmt(report.max),
+                );
+            }
+        }
+    }
+
+    /// No-op terminator, kept so call sites read like the old API.
+    pub fn finish(&mut self) {}
+}
+
+/// Order statistics over one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration (lower-middle sample for even counts).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// 99th-percentile iteration (nearest-rank).
+    pub p99: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl Report {
+    /// Computes the report from an ascending-sorted, non-empty slice.
+    pub fn from_sorted(sorted: &[Duration]) -> Self {
+        assert!(!sorted.is_empty(), "report needs at least one sample");
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "samples must be sorted"
+        );
+        let n = sorted.len();
+        let rank = |q: f64| sorted[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            min: sorted[0],
+            median: rank(0.5),
+            mean: sorted.iter().sum::<Duration>() / n as u32,
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Formats a duration with an auto-selected unit, fixed width.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{:>8}", format!("{ns}ns"))
+    } else if ns < 10_000_000 {
+        format!("{:>8}", format!("{:.1}us", ns as f64 / 1e3))
+    } else if ns < 10_000_000_000 {
+        format!("{:>8}", format!("{:.1}ms", ns as f64 / 1e6))
+    } else {
+        format!("{:>8}", format!("{:.2}s", ns as f64 / 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn report_order_statistics() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let r = Report::from_sorted(&samples);
+        assert_eq!(r.min, ms(1));
+        assert_eq!(r.median, ms(50));
+        assert_eq!(r.p99, ms(99));
+        assert_eq!(r.max, ms(100));
+        assert_eq!(r.mean, ms(50) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn report_single_sample_is_degenerate() {
+        let r = Report::from_sorted(&[ms(7)]);
+        assert_eq!(r.min, ms(7));
+        assert_eq!(r.median, ms(7));
+        assert_eq!(r.p99, ms(7));
+        assert_eq!(r.max, ms(7));
+        assert_eq!(r.mean, ms(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn report_rejects_empty() {
+        let _ = Report::from_sorted(&[]);
+    }
+
+    #[test]
+    fn bench_runs_closure_warmup_plus_iters() {
+        let mut calls = 0u32;
+        let mut g = Group::new("test");
+        g.sample_size(5);
+        g.warmup = 2;
+        // Env overrides would change the count; skip the exact assertion
+        // when the smoke-pass variables are set.
+        let overridden = std::env::var("SSDKEEPER_BENCH_ITERS").is_ok();
+        g.bench("counting", || calls += 1);
+        if !overridden {
+            assert_eq!(calls, 7, "2 warmup + 5 measured");
+        } else {
+            assert!(calls > 0);
+        }
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt(Duration::from_nanos(500)).trim(), "500ns");
+        assert_eq!(fmt(Duration::from_micros(500)).trim(), "500.0us");
+        assert_eq!(fmt(Duration::from_millis(500)).trim(), "500.0ms");
+        assert_eq!(fmt(Duration::from_secs(12)).trim(), "12.00s");
+    }
+}

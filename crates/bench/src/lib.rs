@@ -1,12 +1,16 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the timing harness for the benchmark targets.
 //!
 //! Each bench target regenerates (a scaled-down instance of) one paper
 //! artefact; this crate centralizes the workload/model construction so the
-//! benches measure simulation and inference, not setup.
+//! benches measure simulation and inference, not setup. The [`harness`]
+//! module provides the warmup-then-measure timing loop the `benches/`
+//! binaries use in place of an external benchmark framework.
+
+pub mod harness;
 
 use flash_sim::{IoRequest, SsdConfig};
-use ssdkeeper::learner::{DatasetSpec, LabelledDataset, Learner};
 use ssdkeeper::label::EvalConfig;
+use ssdkeeper::learner::{DatasetSpec, LabelledDataset, Learner};
 use ssdkeeper::{ChannelAllocator, FeatureVector};
 use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
 
@@ -40,13 +44,14 @@ pub fn four_tenant_mix(requests: usize, total_iops: f64) -> Vec<IoRequest> {
         .zip(shares.iter())
         .enumerate()
         .map(|(t, (&wr, &share))| {
-            let spec = TenantSpec::synthetic(
-                format!("t{t}"),
-                wr,
-                (total_iops * share).max(1.0),
-                1 << 10,
-            );
-            generate_tenant_stream(&spec, t as u16, (requests as f64 * share * 1.3) as usize, t as u64)
+            let spec =
+                TenantSpec::synthetic(format!("t{t}"), wr, (total_iops * share).max(1.0), 1 << 10);
+            generate_tenant_stream(
+                &spec,
+                t as u16,
+                (requests as f64 * share * 1.3) as usize,
+                t as u64,
+            )
         })
         .collect();
     mix_chronological(&streams, requests)

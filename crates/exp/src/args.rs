@@ -52,15 +52,21 @@ impl Args {
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.flags.get(key) {
             None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{key} expects a {}, got `{v}`", std::any::type_name::<T>())),
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                panic!(
+                    "--{key} expects a {}, got `{v}`",
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 
     /// A string flag, or `default` when absent.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A string flag if present.

@@ -35,15 +35,23 @@ fn main() {
     let learner = Learner::new(spec);
     let t = Instant::now();
     let dataset = learner.generate_dataset(seed);
-    eprintln!("labelled {} samples in {:?}", dataset.samples.len(), t.elapsed());
+    eprintln!(
+        "labelled {} samples in {:?}",
+        dataset.samples.len(),
+        t.elapsed()
+    );
 
     std::fs::write(&out, dataset.to_text()).expect("write dataset file");
     println!("wrote {} samples to {out}", dataset.samples.len());
 
     // Label distribution summary (top 12 classes).
     let hist = dataset.label_histogram();
-    let mut by_count: Vec<(usize, usize)> =
-        hist.iter().copied().enumerate().filter(|&(_, n)| n > 0).collect();
+    let mut by_count: Vec<(usize, usize)> = hist
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .collect();
     by_count.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mut t = Table::new(&["strategy", "label id", "samples"]);
     for (label, n) in by_count.into_iter().take(12) {

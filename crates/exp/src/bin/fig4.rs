@@ -30,7 +30,10 @@ fn main() {
                 spec.samples = spec.samples.min(64);
                 spec.requests_per_sample = 1_000;
             }
-            eprintln!("fig4: no --dataset given; labelling {} workloads first...", spec.samples);
+            eprintln!(
+                "fig4: no --dataset given; labelling {} workloads first...",
+                spec.samples
+            );
             Learner::new(spec).generate_dataset(seed)
         }
     };

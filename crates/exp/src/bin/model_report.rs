@@ -19,7 +19,10 @@ fn main() {
     let dataset_path = args.get_str("dataset", "artifacts/dataset.txt");
     let text = std::fs::read_to_string(&dataset_path).expect("read dataset file");
     let dataset = LabelledDataset::from_text(&text).expect("parse dataset file");
-    eprintln!("loaded {} samples from {dataset_path}", dataset.samples.len());
+    eprintln!(
+        "loaded {} samples from {dataset_path}",
+        dataset.samples.len()
+    );
 
     let allocator = match args.get_opt("model") {
         Some(path) => model_io::load_allocator(path).expect("load model file"),

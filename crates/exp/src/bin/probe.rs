@@ -31,7 +31,10 @@ fn main() {
         let shared = &evals[shared_rank];
         println!(
             "{} (level {}): shared rank {}/42 at {:.1}us",
-            profile.name, profile.intensity_level, shared_rank + 1, shared.metric_us
+            profile.name,
+            profile.intensity_level,
+            shared_rank + 1,
+            shared.metric_us
         );
         for e in evals.iter().take(5) {
             println!(

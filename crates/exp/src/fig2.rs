@@ -63,9 +63,14 @@ pub fn run(cfg: &Fig2Config) -> Vec<Fig2Point> {
         .map(|step| {
             let write_pct = step * 10;
             let p = write_pct as f64 / 100.0;
-            let writer = TenantSpec::synthetic("writer", 1.0, (cfg.total_iops * p).max(1.0), cfg.lpn_space);
-            let reader =
-                TenantSpec::synthetic("reader", 0.0, (cfg.total_iops * (1.0 - p)).max(1.0), cfg.lpn_space);
+            let writer =
+                TenantSpec::synthetic("writer", 1.0, (cfg.total_iops * p).max(1.0), cfg.lpn_space);
+            let reader = TenantSpec::synthetic(
+                "reader",
+                0.0,
+                (cfg.total_iops * (1.0 - p)).max(1.0),
+                cfg.lpn_space,
+            );
             let n_w = ((cfg.requests as f64) * p).round() as usize;
             let n_r = cfg.requests - n_w;
             let w = generate_tenant_stream(&writer, 0, n_w.max(1), cfg.seed + step as u64);
@@ -132,7 +137,11 @@ pub fn render_series(points: &[Fig2Point], series: Series) -> String {
 pub fn max_spread(points: &[Fig2Point]) -> (u32, f64) {
     let mut best = (0u32, 0.0f64);
     for p in points {
-        let lo = p.evals.iter().map(|e| e.metric_us).fold(f64::INFINITY, f64::min);
+        let lo = p
+            .evals
+            .iter()
+            .map(|e| e.metric_us)
+            .fold(f64::INFINITY, f64::min);
         let hi = p.evals.iter().map(|e| e.metric_us).fold(0.0f64, f64::max);
         let ratio = hi / lo.max(1e-9);
         if ratio > best.1 {
@@ -190,9 +199,7 @@ mod tests {
         // At 10% writes, the reader with 7 channels (1:7) must beat the
         // reader with 1 channel (7:1) on read latency.
         let p10 = &points[0];
-        let read_of = |s: Strategy| {
-            p10.evals.iter().find(|e| e.strategy == s).unwrap().read_us
-        };
+        let read_of = |s: Strategy| p10.evals.iter().find(|e| e.strategy == s).unwrap().read_us;
         assert!(
             read_of(Strategy::TwoPart { write_channels: 1 })
                 < read_of(Strategy::TwoPart { write_channels: 7 })

@@ -45,7 +45,10 @@ pub fn render_curves(results: &[Fig4Result], stride: usize) -> String {
 
     let mut loss_table = Table::new(&header_refs);
     let mut acc_table = Table::new(&header_refs);
-    for epoch in (0..epochs).step_by(stride).chain(std::iter::once(epochs - 1)) {
+    for epoch in (0..epochs)
+        .step_by(stride)
+        .chain(std::iter::once(epochs - 1))
+    {
         let mut lrow = vec![format!("{}", epoch + 1)];
         let mut arow = vec![format!("{}", epoch + 1)];
         for r in results {
@@ -91,7 +94,10 @@ pub fn render_table3(results: &[Fig4Result], dataset: &LabelledDataset) -> Strin
             format!("{}", r.model.history.wall_time.as_millis()),
         ]);
     }
-    format!("Table III: final loss, accuracy and training time\n{}", t.render())
+    format!(
+        "Table III: final loss, accuracy and training time\n{}",
+        t.render()
+    )
 }
 
 /// Returns the best configuration: by effective accuracy (<=5 % regret)
@@ -149,7 +155,10 @@ mod tests {
             assert_eq!(r.model.history.test_accuracy.len(), 4);
         }
         let names: Vec<_> = results.iter().map(|r| r.choice.name()).collect();
-        assert_eq!(names, vec!["SGD", "SGD-momentum", "Adam-ReLU", "Adam-logistic"]);
+        assert_eq!(
+            names,
+            vec!["SGD", "SGD-momentum", "Adam-ReLU", "Adam-logistic"]
+        );
     }
 
     #[test]

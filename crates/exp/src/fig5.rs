@@ -98,8 +98,7 @@ pub fn build_mix(profile: &MixProfile, cfg: &Fig5Config) -> Vec<IoRequest> {
         .map(|(i, t)| {
             // Generate ~25% slack so the lightest tenant still covers the
             // merged horizon after truncation.
-            let count =
-                ((cfg.requests as f64 * profile.shares[i] * 1.25).ceil() as usize).max(8);
+            let count = ((cfg.requests as f64 * profile.shares[i] * 1.25).ceil() as usize).max(8);
             let mut spec = t.spec(1.0, cfg.lpn_space);
             spec.iops = iops[i];
             generate_tenant_stream(&spec, i as u16, count, cfg.seed + i as u64 * 97)
@@ -167,7 +166,11 @@ pub fn render_tables45(results: &[MixResult]) -> String {
         let names: Vec<&str> = r.members.iter().map(|m| m.name()).collect();
         t4.row(vec![r.name.to_string(), names.join(", ")]);
     }
-    let mut t5 = Table::new(&["Mixed Workload", "Characteristics", "SSDKeeper Channel Allocation"]);
+    let mut t5 = Table::new(&[
+        "Mixed Workload",
+        "Characteristics",
+        "SSDKeeper Channel Allocation",
+    ]);
     for r in results {
         t5.row(vec![
             r.name.to_string(),
@@ -188,7 +191,9 @@ pub fn render_fig5(results: &[MixResult]) -> String {
     type SeriesFn = fn(&SimReport) -> f64;
     let mut out = String::new();
     let series: [(&str, SeriesFn); 3] = [
-        ("Figure 5(a): normalized WRITE latency", |r| r.write.mean_us()),
+        ("Figure 5(a): normalized WRITE latency", |r| {
+            r.write.mean_us()
+        }),
         ("Figure 5(b): normalized READ latency", |r| r.read.mean_us()),
         ("Figure 5(c): normalized TOTAL latency", |r| {
             r.total_latency_metric_us()
@@ -224,7 +229,11 @@ pub fn render_summary(results: &[MixResult]) -> String {
             * 100.0;
         out.push_str(&format!(
             "  {}: chose {:<8} steady {:+.1}%  online {:+.1}%  (hybrid adds {:+.1}%)\n",
-            r.name, r.chosen.to_string(), imp, online, hyb
+            r.name,
+            r.chosen.to_string(),
+            imp,
+            online,
+            hyb
         ));
         if r.chosen != Strategy::Shared {
             gains.push(r.improvement_vs_shared());
@@ -236,9 +245,8 @@ pub fn render_summary(results: &[MixResult]) -> String {
             "  mean improvement on re-allocated mixes: {mean:.1}% (paper: ~24% over Mix2-4)\n"
         ));
     }
-    let hybrid_mean = results.iter().map(MixResult::hybrid_gain).sum::<f64>()
-        / results.len() as f64
-        * 100.0;
+    let hybrid_mean =
+        results.iter().map(MixResult::hybrid_gain).sum::<f64>() / results.len() as f64 * 100.0;
     out.push_str(&format!(
         "  mean hybrid page-allocation gain: {hybrid_mean:+.1}% (paper: +2.1%)\n"
     ));

@@ -6,7 +6,7 @@
 //! equivalent of the paper's scatter plot.
 
 use crate::table::Table;
-use rand::{Rng, SeedableRng};
+use simrng::Rng;
 use ssdkeeper::{ChannelAllocator, FeatureVector};
 use std::collections::HashMap;
 
@@ -26,9 +26,8 @@ pub struct StrategyMap {
 /// Draws `samples_per_level` random feature vectors at every intensity
 /// level and records the allocator's decisions.
 pub fn run(allocator: &ChannelAllocator, samples_per_level: usize, seed: u64) -> StrategyMap {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut votes: Vec<Vec<HashMap<String, usize>>> =
-        vec![vec![HashMap::new(); 20]; WP_BUCKETS];
+    let mut rng = simrng::SimRng::seed_from_u64(seed);
+    let mut votes: Vec<Vec<HashMap<String, usize>>> = vec![vec![HashMap::new(); 20]; WP_BUCKETS];
     let mut counts = vec![vec![0usize; 20]; WP_BUCKETS];
 
     for level in 0..20u32 {
@@ -83,7 +82,11 @@ pub fn render(map: &StrategyMap) -> String {
         let mut row = vec![format!("{:.1}", bucket as f64 / 10.0)];
         for level in 0..20 {
             let cell = &map.cells[bucket][level];
-            row.push(if cell.is_empty() { "-".to_string() } else { cell.clone() });
+            row.push(if cell.is_empty() {
+                "-".to_string()
+            } else {
+                cell.clone()
+            });
         }
         t.row(row);
     }

@@ -58,7 +58,10 @@ pub fn render(rows: &[TraceRow]) -> String {
             format!("{:.0}%", r.profile.hot10_share * 100.0),
         ]);
     }
-    format!("Table II: evaluated workloads (paper vs synthesized)\n{}", t.render())
+    format!(
+        "Table II: evaluated workloads (paper vs synthesized)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -6,7 +6,6 @@
 //! programs, and 1.5 ms erases.
 
 use crate::scheduler::SchedPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Nanoseconds per microsecond, used throughout the timing model.
 pub const US: u64 = 1_000;
@@ -17,7 +16,7 @@ pub const MS: u64 = 1_000_000;
 ///
 /// All structural fields must be non-zero; [`SsdConfig::validate`] enforces
 /// this and is called by the simulator constructor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SsdConfig {
     /// Number of independent channels (buses).
     pub channels: usize,
@@ -214,7 +213,9 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::ZeroField(name) => write!(f, "configuration field `{name}` must be non-zero"),
+            ConfigError::ZeroField(name) => {
+                write!(f, "configuration field `{name}` must be non-zero")
+            }
             ConfigError::BadGcThreshold(v) => {
                 write!(f, "gc_free_block_threshold must be in [0,1), got {v}")
             }
@@ -280,7 +281,10 @@ mod tests {
             gc_free_block_threshold: 1.5,
             ..SsdConfig::small_test()
         };
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadGcThreshold(_))));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadGcThreshold(_))
+        ));
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -143,11 +143,14 @@ mod tests {
         assert_eq!(q.len(), 0);
     }
 
-    proptest! {
-        /// Popping always yields a non-decreasing time sequence and returns
-        /// exactly the number of pushed events.
-        #[test]
-        fn drain_is_sorted_and_complete(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+    /// Popping always yields a non-decreasing time sequence and returns
+    /// exactly the number of pushed events, over seeded random pushes.
+    #[test]
+    fn drain_is_sorted_and_complete() {
+        for seed in 0..32u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let len = rng.gen_range(0usize..200);
+            let times: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..1_000_000)).collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(t, EventKind::Arrive(i as ReqId));
@@ -156,8 +159,8 @@ mod tests {
             while let Some(e) = q.pop() {
                 drained.push(e.time);
             }
-            prop_assert_eq!(drained.len(), times.len());
-            prop_assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(drained.len(), times.len(), "seed {seed}");
+            assert!(drained.windows(2).all(|w| w[0] <= w[1]), "seed {seed}");
         }
     }
 }

@@ -241,12 +241,12 @@ mod tests {
         // overwrites would hand greedy GC a fully-invalid victim every
         // pass, whereas random ones leave every block partially valid and
         // force migrations.
-        use rand::{Rng, SeedableRng};
+        use simrng::Rng;
         for i in 0..16u64 {
             ftl.write(0, i, 0).unwrap(); // hot
             ftl.write(0, 16 + i, 0).unwrap(); // cold, written once
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = simrng::SimRng::seed_from_u64(42);
         for _ in 0..1024 {
             let lpn = rng.gen_range(0..16u64);
             ftl.write(0, lpn, 0).unwrap();

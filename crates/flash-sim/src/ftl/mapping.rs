@@ -53,7 +53,10 @@ impl TenantMap {
     ///
     /// Panics in debug builds if `ppa` is the sentinel value.
     pub fn set(&mut self, lpn: u64, ppa: u32) {
-        debug_assert_ne!(ppa, UNMAPPED, "u32::MAX is reserved as the unmapped sentinel");
+        debug_assert_ne!(
+            ppa, UNMAPPED,
+            "u32::MAX is reserved as the unmapped sentinel"
+        );
         let slot = &mut self.table[lpn as usize];
         if *slot == UNMAPPED {
             self.mapped += 1;
@@ -84,7 +87,7 @@ impl TenantMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     #[test]
     fn new_map_is_empty() {
@@ -124,19 +127,27 @@ mod tests {
         assert_eq!(m.iter_mapped().collect::<Vec<_>>(), vec![(1, 10), (5, 50)]);
     }
 
-    proptest! {
-        /// mapped_count always equals the number of distinct mapped LPNs.
-        #[test]
-        fn mapped_count_is_consistent(ops in proptest::collection::vec((0u64..32, 0u32..1000, proptest::bool::ANY), 0..200)) {
+    /// mapped_count always equals the number of distinct mapped LPNs,
+    /// over seeded random set/clear sequences.
+    #[test]
+    fn mapped_count_is_consistent() {
+        for seed in 0..32u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
             let mut m = TenantMap::new(32);
-            for (lpn, ppa, is_set) in ops {
-                if is_set {
-                    m.set(lpn, ppa);
+            let ops = rng.gen_range(0usize..200);
+            for _ in 0..ops {
+                let lpn = rng.gen_range(0u64..32);
+                if rng.gen_bool(0.5) {
+                    m.set(lpn, rng.gen_range(0u32..1000));
                 } else {
                     m.clear(lpn);
                 }
             }
-            prop_assert_eq!(m.mapped_count(), m.iter_mapped().count() as u64);
+            assert_eq!(
+                m.mapped_count(),
+                m.iter_mapped().count() as u64,
+                "seed {seed}"
+            );
         }
     }
 }

@@ -179,15 +179,13 @@ impl Ftl {
         // trigger of 1 would only fire after the last block is already
         // full — too late for the write that needs it. Two guarantees GC
         // runs while one whole spare block still exists.
-        let gc_trigger_blocks = ((cfg.blocks_per_plane as f64 * cfg.gc_free_block_threshold).ceil()
-            as usize)
-            .max(2);
+        let gc_trigger_blocks =
+            ((cfg.blocks_per_plane as f64 * cfg.gc_free_block_threshold).ceil() as usize).max(2);
         Self {
-            planes: (0..geo.total_planes()).map(|_| PlaneState::new(cfg)).collect(),
-            maps: layout
-                .iter()
-                .map(|t| TenantMap::new(t.lpn_space))
+            planes: (0..geo.total_planes())
+                .map(|_| PlaneState::new(cfg))
                 .collect(),
+            maps: layout.iter().map(|t| TenantMap::new(t.lpn_space)).collect(),
             geo,
             pages_per_block: cfg.pages_per_block,
             gc_trigger_blocks,
@@ -260,7 +258,12 @@ impl Ftl {
         self.write_inner(tenant, lpn, plane)
     }
 
-    fn write_inner(&mut self, tenant: u16, lpn: u64, plane: usize) -> Result<WriteOutcome, FtlError> {
+    fn write_inner(
+        &mut self,
+        tenant: u16,
+        lpn: u64,
+        plane: usize,
+    ) -> Result<WriteOutcome, FtlError> {
         // Invalidate the previous copy, if any.
         if let Some(old_packed) = self.maps[tenant as usize].get(lpn) {
             let old = self.geo.unpack_page(old_packed);
@@ -295,7 +298,12 @@ impl Ftl {
 
     /// Appends a page to the plane's active block, rotating in a fresh block
     /// when needed.
-    fn append_to_plane(&mut self, plane: usize, tenant: u16, lpn: u64) -> Result<PhysAddr, FtlError> {
+    fn append_to_plane(
+        &mut self,
+        plane: usize,
+        tenant: u16,
+        lpn: u64,
+    ) -> Result<PhysAddr, FtlError> {
         let pages_per_block = self.pages_per_block;
         let state = &mut self.planes[plane];
 
@@ -410,7 +418,10 @@ impl Ftl {
                     }
                 }
             }
-            assert_eq!(free_pages, plane.free_pages, "plane {pi} free_pages mismatch");
+            assert_eq!(
+                free_pages, plane.free_pages,
+                "plane {pi} free_pages mismatch"
+            );
         }
         // Mapping must point at Valid pages tagged with the same (tenant, lpn).
         for (t, map) in self.maps.iter().enumerate() {
@@ -456,7 +467,10 @@ mod tests {
         let mut ftl = Ftl::new(&cfg, &layout);
         let first = ftl.write(0, 5, 0).unwrap().addr;
         let second = ftl.write(0, 5, 0).unwrap().addr;
-        assert_ne!(first, second, "log-structured writes never overwrite in place");
+        assert_ne!(
+            first, second,
+            "log-structured writes never overwrite in place"
+        );
         let read = ftl.translate_read(0, 5, &layout).unwrap();
         assert_eq!(read, second);
         ftl.check_invariants();
@@ -488,10 +502,7 @@ mod tests {
     fn unknown_tenant_is_an_error() {
         let (cfg, layout) = small();
         let mut ftl = Ftl::new(&cfg, &layout);
-        assert_eq!(
-            ftl.write(7, 0, 0).unwrap_err(),
-            FtlError::UnknownTenant(7)
-        );
+        assert_eq!(ftl.write(7, 0, 0).unwrap_err(), FtlError::UnknownTenant(7));
         assert!(matches!(
             ftl.translate_read(7, 0, &layout),
             Err(FtlError::UnknownTenant(7))

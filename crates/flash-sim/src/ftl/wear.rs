@@ -126,10 +126,21 @@ mod tests {
         // Only plane 0 receives writes in this test, so device-wide spread
         // equals plane-0 spread plus zeros elsewhere; within plane 0 the
         // erase tie-break keeps wear within a small band.
-        let plane0: Vec<u32> = ftl.plane_ref(0).blocks.iter().map(|b| b.erase_count).collect();
+        let plane0: Vec<u32> = ftl
+            .plane_ref(0)
+            .blocks
+            .iter()
+            .map(|b| b.erase_count)
+            .collect();
         let lo = *plane0.iter().min().unwrap();
         let hi = *plane0.iter().max().unwrap();
-        assert!(hi - lo <= hi.max(4), "wear spread should stay bounded (lo={lo}, hi={hi})");
-        assert!(lo > 0, "victim rotation must touch every block in the plane");
+        assert!(
+            hi - lo <= hi.max(4),
+            "wear spread should stay bounded (lo={lo}, hi={hi})"
+        );
+        assert!(
+            lo > 0,
+            "victim rotation must touch every block in the plane"
+        );
     }
 }

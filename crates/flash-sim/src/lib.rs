@@ -41,7 +41,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod config;
 pub mod event;
 pub mod ftl;

@@ -1,9 +1,7 @@
 //! Host I/O requests as seen by the simulator front end.
 
-use serde::{Deserialize, Serialize};
-
 /// Request direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Host read.
     Read,
@@ -34,7 +32,7 @@ impl std::fmt::Display for Op {
 /// out into page-granular flash commands; the request completes when the
 /// slowest command completes (the paper's "the latency of the request
 /// depends on the slowest chip access").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoRequest {
     /// Trace-unique request id.
     pub id: u64,

@@ -16,7 +16,6 @@
 //! writes and must not preempt host reads.
 
 use crate::event::CmdId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Scheduling class of a command.
@@ -29,8 +28,7 @@ pub enum CmdClass {
 }
 
 /// Queueing discipline applied at every die and bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// Strict arrival order (SSDSim-faithful default).
     #[default]
@@ -42,7 +40,6 @@ pub enum SchedPolicy {
         max_bypass: u32,
     },
 }
-
 
 /// A two-class queue supporting both disciplines.
 ///
@@ -138,7 +135,7 @@ pub struct BusSched {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     const RP4: SchedPolicy = SchedPolicy::ReadPriority { max_bypass: 4 };
     const RP8: SchedPolicy = SchedPolicy::ReadPriority { max_bypass: 8 };
@@ -233,7 +230,11 @@ mod tests {
         q.push(11, CmdClass::Read);
         assert_eq!(q.pop(rp2), Some(3));
         assert_eq!(q.pop(rp2), Some(4));
-        assert_eq!(q.pop(rp2), Some(100), "budget of 2 exhausted by reads 3 and 4");
+        assert_eq!(
+            q.pop(rp2),
+            Some(100),
+            "budget of 2 exhausted by reads 3 and 4"
+        );
     }
 
     #[test]
@@ -241,50 +242,74 @@ mod tests {
         assert_eq!(SchedPolicy::default(), SchedPolicy::Fifo);
     }
 
-    proptest! {
-        /// Every pushed command is popped exactly once under either policy.
-        #[test]
-        fn conservation(
-            classes in proptest::collection::vec(proptest::bool::ANY, 0..100),
-            use_fifo in proptest::bool::ANY,
-            bound in 0u32..8,
-        ) {
-            let policy = if use_fifo {
+    /// Every pushed command is popped exactly once under either policy,
+    /// over seeded random class mixes.
+    #[test]
+    fn conservation() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let classes: Vec<bool> = (0..rng.gen_range(0usize..100)).map(|_| rng.gen()).collect();
+            let policy = if rng.gen() {
                 SchedPolicy::Fifo
             } else {
-                SchedPolicy::ReadPriority { max_bypass: bound }
+                SchedPolicy::ReadPriority {
+                    max_bypass: rng.gen_range(0u32..8),
+                }
             };
             let mut q = PriorityQueue::new();
             for (i, &is_read) in classes.iter().enumerate() {
-                q.push(i as CmdId, if is_read { CmdClass::Read } else { CmdClass::Write });
+                q.push(
+                    i as CmdId,
+                    if is_read {
+                        CmdClass::Read
+                    } else {
+                        CmdClass::Write
+                    },
+                );
             }
             let mut seen = std::collections::HashSet::new();
             while let Some(c) = q.pop(policy) {
-                prop_assert!(seen.insert(c), "command {} popped twice", c);
+                assert!(seen.insert(c), "command {} popped twice (seed {seed})", c);
             }
-            prop_assert_eq!(seen.len(), classes.len());
+            assert_eq!(seen.len(), classes.len(), "seed {seed}");
         }
+    }
 
-        /// FIFO pops are globally ordered by arrival.
-        #[test]
-        fn fifo_is_sorted(classes in proptest::collection::vec(proptest::bool::ANY, 0..100)) {
+    /// FIFO pops are globally ordered by arrival.
+    #[test]
+    fn fifo_is_sorted() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(1000 + seed);
+            let classes: Vec<bool> = (0..rng.gen_range(0usize..100)).map(|_| rng.gen()).collect();
             let mut q = PriorityQueue::new();
             for (i, &is_read) in classes.iter().enumerate() {
-                q.push(i as CmdId, if is_read { CmdClass::Read } else { CmdClass::Write });
+                q.push(
+                    i as CmdId,
+                    if is_read {
+                        CmdClass::Read
+                    } else {
+                        CmdClass::Write
+                    },
+                );
             }
             let mut prev = None;
             while let Some(c) = q.pop(SchedPolicy::Fifo) {
                 if let Some(p) = prev {
-                    prop_assert!(c > p, "{c} after {p}");
+                    assert!(c > p, "{c} after {p} (seed {seed})");
                 }
                 prev = Some(c);
             }
         }
+    }
 
-        /// A waiting write is served after at most `bound` subsequent pops
-        /// under read priority.
-        #[test]
-        fn bounded_wait(bound in 1u32..6, reads_before in 0usize..4) {
+    /// A waiting write is served after at most `bound` subsequent pops
+    /// under read priority.
+    #[test]
+    fn bounded_wait() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(2000 + seed);
+            let bound = rng.gen_range(1u32..6);
+            let reads_before = rng.gen_range(0usize..4);
             let policy = SchedPolicy::ReadPriority { max_bypass: bound };
             let mut q = PriorityQueue::new();
             for i in 0..reads_before {
@@ -301,7 +326,7 @@ mod tests {
                 if c == 999 {
                     break;
                 }
-                prop_assert!(pops <= bound as usize + reads_before + 1);
+                assert!(pops <= bound as usize + reads_before + 1, "seed {seed}");
             }
         }
     }

@@ -325,7 +325,8 @@ impl Simulator {
             })
             .collect();
         for (i, r) in trace.iter().enumerate() {
-            self.events.push(r.arrival_ns, EventKind::Arrive(i as ReqId));
+            self.events
+                .push(r.arrival_ns, EventKind::Arrive(i as ReqId));
         }
 
         while let Some(ev) = self.events.pop() {
@@ -441,22 +442,35 @@ impl Simulator {
                 for lpn in io.pages() {
                     let tenant_state = self.layout.tenant(io.tenant as usize);
                     let plane = match tenant_state.policy {
-                        PageAllocPolicy::Static => {
-                            alloc::static_plane(&self.geo, tenant_state, lpn % tenant_state.lpn_space)
-                        }
+                        PageAllocPolicy::Static => alloc::static_plane(
+                            &self.geo,
+                            tenant_state,
+                            lpn % tenant_state.lpn_space,
+                        ),
                         PageAllocPolicy::Dynamic => {
                             self.fill_plane_backlogs();
                             let tenant_state = self.layout.tenant(io.tenant as usize);
                             let ftl = &self.ftl;
-                            alloc::dynamic_plane(&self.geo, tenant_state, &self.backlog_scratch, |p| {
-                                ftl.plane_free_pages(p)
-                            })
+                            alloc::dynamic_plane(
+                                &self.geo,
+                                tenant_state,
+                                &self.backlog_scratch,
+                                |p| ftl.plane_free_pages(p),
+                            )
                         }
                     };
                     let outcome = self.ftl.write(io.tenant, lpn, plane)?;
                     let unit = self.unit_of_plane(self.geo.plane_index(&outcome.addr)) as u32;
                     let channel = outcome.addr.channel;
-                    self.spawn_cmd(req, CmdClass::Write, unit, channel, Phase::WaitBusWrite, 0, now);
+                    self.spawn_cmd(
+                        req,
+                        CmdClass::Write,
+                        unit,
+                        channel,
+                        Phase::WaitBusWrite,
+                        0,
+                        now,
+                    );
                     if let Some(gc) = outcome.gc {
                         let gc_unit = self.unit_of_plane(gc.plane) as u32;
                         let gc_channel = self.geo.channel_of_plane(gc.plane) as u16;
@@ -636,8 +650,10 @@ impl Simulator {
                 let cmd = &mut self.cmds[cmd_id as usize];
                 cmd.phase = Phase::Program;
                 cmd.t_mark = now;
-                self.events
-                    .push(now + self.cfg.write_latency_ns, EventKind::DieOpDone(cmd_id));
+                self.events.push(
+                    now + self.cfg.write_latency_ns,
+                    EventKind::DieOpDone(cmd_id),
+                );
             }
             other => unreachable!("BusDone in phase {other:?}"),
         }
@@ -846,7 +862,10 @@ mod tests {
             IoRequest::new(0, 0, Op::Read, 0, 1, 100),
             IoRequest::new(1, 0, Op::Read, 0, 1, 50),
         ];
-        assert_eq!(sim.run(&trace).unwrap_err(), SimError::TraceNotSorted { index: 1 });
+        assert_eq!(
+            sim.run(&trace).unwrap_err(),
+            SimError::TraceNotSorted { index: 1 }
+        );
     }
 
     #[test]
@@ -855,7 +874,10 @@ mod tests {
         let trace = vec![IoRequest::new(0, 9, Op::Read, 0, 1, 0)];
         assert_eq!(
             sim.run(&trace).unwrap_err(),
-            SimError::UnknownTenant { index: 0, tenant: 9 }
+            SimError::UnknownTenant {
+                index: 0,
+                tenant: 9
+            }
         );
     }
 
@@ -863,7 +885,10 @@ mod tests {
     fn empty_request_rejected() {
         let sim = one_tenant_sim();
         let trace = vec![IoRequest::new(0, 0, Op::Read, 0, 0, 0)];
-        assert_eq!(sim.run(&trace).unwrap_err(), SimError::EmptyRequest { index: 0 });
+        assert_eq!(
+            sim.run(&trace).unwrap_err(),
+            SimError::EmptyRequest { index: 0 }
+        );
     }
 
     #[test]
@@ -894,7 +919,14 @@ mod tests {
         let trace: Vec<IoRequest> = (0..200)
             .map(|i| {
                 let op = if i % 3 == 0 { Op::Write } else { Op::Read };
-                IoRequest::new(i, (i % 2) as u16, op, (i * 7) % 256, 1 + (i % 3) as u32, i * 5_000)
+                IoRequest::new(
+                    i,
+                    (i % 2) as u16,
+                    op,
+                    (i * 7) % 256,
+                    1 + (i % 3) as u32,
+                    i * 5_000,
+                )
             })
             .collect();
         let a = mk().run(&trace).unwrap();
@@ -1218,7 +1250,10 @@ mod tests {
         // the same as reads of host-written data.
         let trace = vec![IoRequest::new(0, 0, Op::Read, 10, 1, 0)];
         let report = sim.run(&trace).unwrap();
-        assert_eq!(report.ftl.seeded_pages, 128, "50% of 256 LPNs preconditioned");
+        assert_eq!(
+            report.ftl.seeded_pages, 128,
+            "50% of 256 LPNs preconditioned"
+        );
         assert_eq!(report.read.max_ns, 20 * US + 20_480);
         assert_eq!(report.ftl.host_pages_written, 0);
     }

@@ -236,7 +236,7 @@ impl SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     #[test]
     fn empty_stats_are_neutral() {
@@ -304,10 +304,14 @@ mod tests {
         assert_eq!(c.sum_ns, 40);
     }
 
-    proptest! {
-        /// Percentile is monotone in q and bounded by [min-ish, 2*max].
-        #[test]
-        fn percentile_monotone(samples in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+    /// Percentile is monotone in q and bounded by [min-ish, 2*max].
+    #[test]
+    fn percentile_monotone() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let samples: Vec<u64> = (0..rng.gen_range(1usize..200))
+                .map(|_| rng.gen_range(1u64..1_000_000))
+                .collect();
             let mut s = LatencyStats::new();
             for &v in &samples {
                 s.record(v);
@@ -315,25 +319,40 @@ mod tests {
             let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
             let ps: Vec<u64> = qs.iter().map(|&q| s.percentile_ns(q)).collect();
             for w in ps.windows(2) {
-                prop_assert!(w[0] <= w[1]);
+                assert!(w[0] <= w[1], "seed {seed}");
             }
-            prop_assert!(ps[ps.len() - 1] <= s.max_ns.next_power_of_two().max(s.max_ns));
+            assert!(
+                ps[ps.len() - 1] <= s.max_ns.next_power_of_two().max(s.max_ns),
+                "seed {seed}"
+            );
         }
+    }
 
-        /// merge(a, b) equals recording the union.
-        #[test]
-        fn merge_equals_union(
-            xs in proptest::collection::vec(0u64..1_000_000, 0..50),
-            ys in proptest::collection::vec(0u64..1_000_000, 0..50),
-        ) {
+    /// merge(a, b) equals recording the union.
+    #[test]
+    fn merge_equals_union() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(1000 + seed);
+            let xs: Vec<u64> = (0..rng.gen_range(0usize..50))
+                .map(|_| rng.gen_range(0u64..1_000_000))
+                .collect();
+            let ys: Vec<u64> = (0..rng.gen_range(0usize..50))
+                .map(|_| rng.gen_range(0u64..1_000_000))
+                .collect();
             let mut a = LatencyStats::new();
-            for &v in &xs { a.record(v); }
+            for &v in &xs {
+                a.record(v);
+            }
             let mut b = LatencyStats::new();
-            for &v in &ys { b.record(v); }
+            for &v in &ys {
+                b.record(v);
+            }
             a.merge(&b);
             let mut u = LatencyStats::new();
-            for &v in xs.iter().chain(ys.iter()) { u.record(v); }
-            prop_assert_eq!(a, u);
+            for &v in xs.iter().chain(ys.iter()) {
+                u.record(v);
+            }
+            assert_eq!(a, u, "seed {seed}");
         }
     }
 }

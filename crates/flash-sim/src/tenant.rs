@@ -8,10 +8,9 @@
 
 use crate::config::SsdConfig;
 use crate::ftl::alloc::PageAllocPolicy;
-use serde::{Deserialize, Serialize};
 
 /// An ordered set of channel indices a tenant may write to.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelSet {
     channels: Vec<u16>,
 }
@@ -73,7 +72,7 @@ impl ChannelSet {
 }
 
 /// One tenant's allocation state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantState {
     /// Channels this tenant's new writes go to.
     pub channels: ChannelSet,
@@ -85,7 +84,7 @@ pub struct TenantState {
 }
 
 /// Channel/policy assignment for every tenant sharing the device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantLayout {
     tenants: Vec<TenantState>,
 }
@@ -264,7 +263,10 @@ mod tests {
                 owned[c as usize] += 1;
             }
         }
-        assert!(owned.iter().all(|&n| n == 1), "each channel owned exactly once");
+        assert!(
+            owned.iter().all(|&n| n == 1),
+            "each channel owned exactly once"
+        );
     }
 
     #[test]
@@ -286,7 +288,8 @@ mod tests {
         assert!(TenantLayout::from_channel_lists(&[vec![0], vec![]], &cfg()).is_none());
         assert!(TenantLayout::from_channel_lists(&[vec![0], vec![9]], &cfg()).is_none());
         let layout =
-            TenantLayout::from_channel_lists(&[vec![0, 1, 2], vec![3, 4, 5, 6, 7]], &cfg()).unwrap();
+            TenantLayout::from_channel_lists(&[vec![0, 1, 2], vec![3, 4, 5, 6, 7]], &cfg())
+                .unwrap();
         assert_eq!(layout.tenant(0).channels.len(), 3);
         assert_eq!(layout.tenant(1).channels.len(), 5);
     }

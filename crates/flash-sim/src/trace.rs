@@ -5,21 +5,25 @@
 //! them avoids regenerating identical inputs and lets experiments be
 //! re-run bit-identically.
 //!
-//! Format (little-endian):
+//! Format (little-endian, hand-rolled `to_le_bytes`/`from_le_bytes` — no
+//! external codec crates, and the byte layout is frozen):
 //!
 //! ```text
 //! magic  u32  = 0x53534454 ("SSDT")
 //! version u32 = 1
 //! count  u64
-//! count × { id u64, tenant u16, op u8 (0=read,1=write), _pad u8,
+//! count × { id u64, tenant u16, op u8 (0=read,1=write), _pad u8 (= 0),
 //!           size_pages u32, lpn u64, arrival_ns u64 }
 //! ```
+//!
+//! The pad byte is always written as zero and ignored on decode; it exists
+//! so every multi-byte field stays naturally aligned within the record.
 
 use crate::request::{IoRequest, Op};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u32 = 0x5353_4454;
 const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 4 + 4 + 8;
 const RECORD_BYTES: usize = 8 + 2 + 1 + 1 + 4 + 8 + 8;
 
 /// Errors from [`decode_trace`].
@@ -46,7 +50,10 @@ impl std::fmt::Display for TraceError {
             TraceError::BadMagic(m) => write!(f, "bad trace magic {m:#x}"),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::Truncated { expected, got } => {
-                write!(f, "trace truncated: header says {expected} records, found {got}")
+                write!(
+                    f,
+                    "trace truncated: header says {expected} records, found {got}"
+                )
             }
             TraceError::BadOp(b) => write!(f, "invalid op byte {b}"),
         }
@@ -55,42 +62,89 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Little-endian cursor over a byte slice. Bounds are checked once per
+/// record by the caller, so the accessors themselves just slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let bytes: [u8; N] = self.buf[self.pos..self.pos + N]
+            .try_into()
+            .expect("slice length equals N");
+        self.pos += N;
+        bytes
+    }
+
+    fn u8(&mut self) -> u8 {
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take::<2>())
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+}
+
 /// Serializes a trace to its binary form.
-pub fn encode_trace(trace: &[IoRequest]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + trace.len() * RECORD_BYTES);
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(trace.len() as u64);
+pub fn encode_trace(trace: &[IoRequest]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + trace.len() * RECORD_BYTES);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
     for r in trace {
-        buf.put_u64_le(r.id);
-        buf.put_u16_le(r.tenant);
-        buf.put_u8(match r.op {
+        buf.extend_from_slice(&r.id.to_le_bytes());
+        buf.extend_from_slice(&r.tenant.to_le_bytes());
+        buf.push(match r.op {
             Op::Read => 0,
             Op::Write => 1,
         });
-        buf.put_u8(0);
-        buf.put_u32_le(r.size_pages);
-        buf.put_u64_le(r.lpn);
-        buf.put_u64_le(r.arrival_ns);
+        buf.push(0); // _pad
+        buf.extend_from_slice(&r.size_pages.to_le_bytes());
+        buf.extend_from_slice(&r.lpn.to_le_bytes());
+        buf.extend_from_slice(&r.arrival_ns.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a trace produced by [`encode_trace`].
-pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<IoRequest>, TraceError> {
-    if buf.remaining() < 16 {
-        return Err(TraceError::Truncated { expected: 0, got: 0 });
+pub fn decode_trace(buf: &[u8]) -> Result<Vec<IoRequest>, TraceError> {
+    let mut r = Reader::new(buf);
+    if r.remaining() < HEADER_BYTES {
+        return Err(TraceError::Truncated {
+            expected: 0,
+            got: 0,
+        });
     }
-    let magic = buf.get_u32_le();
+    let magic = r.u32();
     if magic != MAGIC {
         return Err(TraceError::BadMagic(magic));
     }
-    let version = buf.get_u32_le();
+    let version = r.u32();
     if version != VERSION {
         return Err(TraceError::BadVersion(version));
     }
-    let count = buf.get_u64_le();
-    let available = (buf.remaining() / RECORD_BYTES) as u64;
+    let count = r.u64();
+    let available = (r.remaining() / RECORD_BYTES) as u64;
     if available < count {
         return Err(TraceError::Truncated {
             expected: count,
@@ -99,17 +153,17 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<IoRequest>, TraceError> {
     }
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let id = buf.get_u64_le();
-        let tenant = buf.get_u16_le();
-        let op = match buf.get_u8() {
+        let id = r.u64();
+        let tenant = r.u16();
+        let op = match r.u8() {
             0 => Op::Read,
             1 => Op::Write,
             b => return Err(TraceError::BadOp(b)),
         };
-        let _pad = buf.get_u8();
-        let size_pages = buf.get_u32_le();
-        let lpn = buf.get_u64_le();
-        let arrival_ns = buf.get_u64_le();
+        let _pad = r.u8();
+        let size_pages = r.u32();
+        let lpn = r.u64();
+        let arrival_ns = r.u64();
         out.push(IoRequest {
             id,
             tenant,
@@ -125,7 +179,7 @@ pub fn decode_trace(mut buf: impl Buf) -> Result<Vec<IoRequest>, TraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     fn sample() -> Vec<IoRequest> {
         vec![
@@ -137,59 +191,156 @@ mod tests {
     #[test]
     fn round_trip_sample() {
         let bytes = encode_trace(&sample());
-        let decoded = decode_trace(bytes).unwrap();
+        let decoded = decode_trace(&bytes).unwrap();
         assert_eq!(decoded, sample());
     }
 
     #[test]
     fn empty_trace_round_trips() {
         let bytes = encode_trace(&[]);
-        assert_eq!(decode_trace(bytes).unwrap(), Vec::new());
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_trace(&bytes).unwrap(), Vec::new());
+    }
+
+    /// Golden bytes: the exact on-disk image of [`sample`]. This pins the
+    /// SSDT v1 layout — byte order, field order, pad position — so codec
+    /// refactors cannot silently change the format and orphan recorded
+    /// traces.
+    #[test]
+    fn golden_bytes_are_stable() {
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            // header
+            0x54, 0x44, 0x53, 0x53,                         // magic "SSDT" LE
+            0x01, 0x00, 0x00, 0x00,                         // version 1
+            0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
+            // record 0: id=0 tenant=0 op=write pad size=4 lpn=10 at=0
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00,
+            0x01, 0x00,
+            0x04, 0x00, 0x00, 0x00,
+            0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            // record 1: id=1 tenant=3 op=read pad size=1 lpn=MAX at=123456789
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x03, 0x00,
+            0x00, 0x00,
+            0x01, 0x00, 0x00, 0x00,
+            0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+            0x15, 0xCD, 0x5B, 0x07, 0x00, 0x00, 0x00, 0x00,
+        ];
+        assert_eq!(encode_trace(&sample()), expected);
+    }
+
+    /// The pad byte is written as zero, ignored on decode, and a non-zero
+    /// pad in the input must not change the decoded record.
+    #[test]
+    fn pad_byte_round_trips_and_is_ignored() {
+        let mut bytes = encode_trace(&sample());
+        // pad of record 0 sits at offset 16 (header) + 8 + 2 + 1 = 27.
+        assert_eq!(bytes[27], 0, "encoder must write a zero pad");
+        bytes[27] = 0xAB;
+        let decoded = decode_trace(&bytes).unwrap();
+        assert_eq!(decoded, sample(), "pad contents must not affect decoding");
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(0xdead_beef);
-        buf.put_u32_le(VERSION);
-        buf.put_u64_le(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xdead_beef_u32.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         assert_eq!(
-            decode_trace(buf.freeze()).unwrap_err(),
+            decode_trace(&buf).unwrap_err(),
             TraceError::BadMagic(0xdead_beef)
         );
     }
 
     #[test]
     fn rejects_bad_version() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(99);
-        buf.put_u64_le(0);
-        assert_eq!(decode_trace(buf.freeze()).unwrap_err(), TraceError::BadVersion(99));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode_trace(&buf).unwrap_err(), TraceError::BadVersion(99));
+    }
+
+    /// Flipping single header bytes must surface as `BadMagic` or
+    /// `BadVersion`, never as a panic or a silently wrong decode.
+    #[test]
+    fn corrupt_header_bytes_are_rejected() {
+        let good = encode_trace(&sample());
+        for offset in 0..8 {
+            let mut corrupt = good.clone();
+            corrupt[offset] ^= 0xFF;
+            let err = decode_trace(&corrupt).unwrap_err();
+            if offset < 4 {
+                assert!(
+                    matches!(err, TraceError::BadMagic(_)),
+                    "offset {offset}: {err}"
+                );
+            } else {
+                assert!(
+                    matches!(err, TraceError::BadVersion(_)),
+                    "offset {offset}: {err}"
+                );
+            }
+        }
     }
 
     #[test]
     fn rejects_truncation() {
         let bytes = encode_trace(&sample());
-        let cut = bytes.slice(0..bytes.len() - 4);
+        let cut = &bytes[..bytes.len() - 4];
         assert!(matches!(
             decode_trace(cut).unwrap_err(),
-            TraceError::Truncated { expected: 2, got: 1 }
+            TraceError::Truncated {
+                expected: 2,
+                got: 1
+            }
         ));
+    }
+
+    /// Every possible truncation point of a valid image must yield a clean
+    /// `TraceError`, never a panic or an out-of-bounds read.
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let bytes = encode_trace(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_trace(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+            assert!(
+                matches!(err.unwrap_err(), TraceError::Truncated { .. }),
+                "prefix of {cut} bytes must report truncation"
+            );
+        }
     }
 
     #[test]
     fn rejects_short_header() {
-        let buf = Bytes::from_static(&[1, 2, 3]);
-        assert!(matches!(decode_trace(buf), Err(TraceError::Truncated { .. })));
+        assert!(matches!(
+            decode_trace(&[1, 2, 3]),
+            Err(TraceError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_op_byte() {
-        let mut bytes = BytesMut::from(&encode_trace(&sample())[..]);
+        let mut bytes = encode_trace(&sample());
         // op byte of record 0 sits at offset 16 (header) + 8 + 2 = 26.
         bytes[26] = 7;
-        assert_eq!(decode_trace(bytes.freeze()).unwrap_err(), TraceError::BadOp(7));
+        assert_eq!(decode_trace(&bytes).unwrap_err(), TraceError::BadOp(7));
+    }
+
+    /// Every op byte other than 0/1 is rejected with its own value.
+    #[test]
+    fn all_invalid_op_bytes_are_reported() {
+        let good = encode_trace(&sample());
+        for op in [2u8, 3, 0x7F, 0xFF] {
+            let mut bytes = good.clone();
+            bytes[26] = op;
+            assert_eq!(decode_trace(&bytes).unwrap_err(), TraceError::BadOp(op));
+        }
     }
 
     #[test]
@@ -197,33 +348,42 @@ mod tests {
         assert!(TraceError::BadMagic(1).to_string().contains("magic"));
         assert!(TraceError::BadVersion(2).to_string().contains("version"));
         assert!(TraceError::BadOp(3).to_string().contains("op"));
-        assert!(TraceError::Truncated { expected: 5, got: 1 }
-            .to_string()
-            .contains("truncated"));
+        assert!(TraceError::Truncated {
+            expected: 5,
+            got: 1
+        }
+        .to_string()
+        .contains("truncated"));
     }
 
-    proptest! {
-        #[test]
-        fn round_trip_arbitrary(
-            records in proptest::collection::vec(
-                (0u64..u64::MAX, 0u16..16, proptest::bool::ANY, 0u64..1_000_000, 1u32..64, 0u64..u64::MAX / 2),
-                0..100,
-            )
-        ) {
-            let trace: Vec<IoRequest> = records
-                .into_iter()
-                .enumerate()
-                .map(|(i, (id, tenant, is_read, lpn, size, at))| IoRequest {
-                    id: id.wrapping_add(i as u64),
-                    tenant,
-                    op: if is_read { Op::Read } else { Op::Write },
-                    lpn,
-                    size_pages: size,
-                    arrival_ns: at,
+    /// Seeded-loop replacement for the former proptest: arbitrary traces
+    /// round-trip bit-exactly through encode → decode.
+    #[test]
+    fn round_trip_arbitrary_traces() {
+        for seed in 0..32u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let len = rng.gen_range(0usize..100);
+            let trace: Vec<IoRequest> = (0..len)
+                .map(|i| IoRequest {
+                    id: rng.gen::<u64>().wrapping_add(i as u64),
+                    tenant: rng.gen_range(0u16..16),
+                    op: if rng.gen_bool(0.5) {
+                        Op::Read
+                    } else {
+                        Op::Write
+                    },
+                    lpn: rng.gen_range(0u64..1_000_000),
+                    size_pages: rng.gen_range(1u32..64),
+                    arrival_ns: rng.gen_range(0..u64::MAX / 2),
                 })
                 .collect();
-            let decoded = decode_trace(encode_trace(&trace)).unwrap();
-            prop_assert_eq!(decoded, trace);
+            let encoded = encode_trace(&trace);
+            assert_eq!(encoded.len(), 16 + trace.len() * RECORD_BYTES);
+            let decoded = decode_trace(&encoded).unwrap();
+            assert_eq!(decoded, trace, "seed {seed}");
+            // Re-encoding the decode must be byte-identical (codec is a
+            // bijection on valid images).
+            assert_eq!(encode_trace(&decoded), encoded, "seed {seed}");
         }
     }
 }

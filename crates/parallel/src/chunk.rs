@@ -64,7 +64,7 @@ pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Chunk> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{Rng, SimRng};
 
     #[test]
     fn zero_total_yields_no_chunks() {
@@ -92,31 +92,40 @@ mod tests {
 
     #[test]
     fn chunk_len_and_is_empty() {
-        let c = Chunk { index: 0, range: 2..5 };
+        let c = Chunk {
+            index: 0,
+            range: 2..5,
+        };
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
-        let e = Chunk { index: 1, range: 5..5 };
+        let e = Chunk {
+            index: 1,
+            range: 5..5,
+        };
         assert!(e.is_empty());
     }
 
-    proptest! {
-        /// Chunks are a gapless, in-order cover of 0..total, with sizes
-        /// differing by at most one.
-        #[test]
-        fn cover_is_exact_and_balanced(total in 0usize..10_000, parts in 1usize..64) {
+    /// Chunks are a gapless, in-order cover of 0..total, with sizes
+    /// differing by at most one, over seeded random (total, parts) pairs.
+    #[test]
+    fn cover_is_exact_and_balanced() {
+        let mut rng = SimRng::seed_from_u64(601);
+        for _ in 0..256 {
+            let total = rng.gen_range(0usize..10_000);
+            let parts = rng.gen_range(1usize..64);
             let chunks = chunk_ranges(total, parts);
             let mut expected_start = 0;
             for (i, c) in chunks.iter().enumerate() {
-                prop_assert_eq!(c.index, i);
-                prop_assert_eq!(c.range.start, expected_start);
+                assert_eq!(c.index, i);
+                assert_eq!(c.range.start, expected_start);
                 expected_start = c.range.end;
             }
-            prop_assert_eq!(expected_start, total);
+            assert_eq!(expected_start, total, "total {total} parts {parts}");
             if let (Some(max), Some(min)) = (
                 chunks.iter().map(Chunk::len).max(),
                 chunks.iter().map(Chunk::len).min(),
             ) {
-                prop_assert!(max - min <= 1);
+                assert!(max - min <= 1, "total {total} parts {parts}");
             }
         }
     }

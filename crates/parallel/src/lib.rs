@@ -9,8 +9,9 @@
 //! replacement.
 //!
 //! Design notes:
-//! * Built on [`crossbeam::thread::scope`] so closures may borrow from the
-//!   caller's stack — no `'static` bounds, no `Arc` plumbing.
+//! * Built on [`std::thread::scope`] so closures may borrow from the
+//!   caller's stack — no `'static` bounds, no `Arc` plumbing, and no
+//!   external crates (the workspace builds hermetically offline).
 //! * Work distribution is a single atomic cursor over the input index space
 //!   (self-scheduling), which load-balances well when item costs vary by an
 //!   order of magnitude, as simulator runs do.
@@ -19,7 +20,6 @@
 //!   (no threads are spawned), so the same code path is used on single-core
 //!   CI machines.
 #![warn(missing_docs)]
-
 
 pub mod chunk;
 pub mod pool;

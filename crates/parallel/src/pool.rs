@@ -9,8 +9,7 @@
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Configuration for [`par_map`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +45,15 @@ impl Default for PoolConfig {
     }
 }
 
+/// Locks a mutex, ignoring poison: every panic in a worker closure is
+/// already routed through `catch_unwind`, so a poisoned lock only means a
+/// sibling died mid-update of an `Option` slot, which is safe to read.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Applies `f` to every element of `items` and returns the results in input
 /// order, fanning the work across `config.workers` threads.
 ///
@@ -55,7 +63,10 @@ impl Default for PoolConfig {
 /// simulates slowly next to a balanced split that finishes quickly).
 ///
 /// Panics in `f` are propagated to the caller after all workers have
-/// drained (the panic payload of the first failing index is re-raised).
+/// drained: the original panic payload of the **first** failing index is
+/// re-raised via [`std::panic::resume_unwind`], so `should_panic`
+/// expectations and custom payload types survive the pool boundary.
+/// Results completed before the failure are dropped cleanly.
 ///
 /// # Examples
 ///
@@ -95,21 +106,24 @@ where
     // Each completed item is written into its slot; slots start empty.
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    // `(claim index, payload)` of the earliest panicking item.
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
                 }
                 match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
-                    Ok(value) => *slots[idx].lock() = Some(value),
+                    Ok(value) => *lock_unpoisoned(&slots[idx]) = Some(value),
                     Err(payload) => {
-                        let mut guard = first_panic.lock();
-                        if guard.is_none() {
-                            *guard = Some(payload);
+                        let mut guard = lock_unpoisoned(&first_panic);
+                        // Keep the payload of the lowest-index failure so
+                        // propagation is deterministic across schedules.
+                        if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
+                            *guard = Some((idx, payload));
                         }
                         // Park the cursor so siblings stop claiming work.
                         cursor.store(items.len(), Ordering::Relaxed);
@@ -118,10 +132,11 @@ where
                 }
             });
         }
-    })
-    .expect("worker threads must not leak panics past catch_unwind");
+    });
 
-    if let Some(payload) = first_panic.into_inner() {
+    if let Some((_, payload)) = lock_unpoisoned(&first_panic).take() {
+        // Completed slots drop here, then the original payload re-raises.
+        drop(slots);
         std::panic::resume_unwind(payload);
     }
 
@@ -129,6 +144,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .expect("every slot is filled unless a worker panicked")
         })
         .collect()
@@ -138,6 +154,7 @@ where
 mod tests {
     use super::*;
     use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn empty_input_returns_empty() {
@@ -172,7 +189,9 @@ mod tests {
     #[test]
     fn index_variant_passes_matching_indices() {
         let items = vec!["a", "b", "c"];
-        let out = par_map_with(&PoolConfig::with_workers(3), &items, |i, s| format!("{i}{s}"));
+        let out = par_map_with(&PoolConfig::with_workers(3), &items, |i, s| {
+            format!("{i}{s}")
+        });
         assert_eq!(out, vec!["0a", "1b", "2c"]);
     }
 
@@ -210,6 +229,82 @@ mod tests {
             }
             x
         });
+    }
+
+    /// The *original* payload must cross the pool boundary — not a generic
+    /// "a worker panicked" message — including non-string payload types.
+    #[test]
+    fn panic_payload_is_preserved_verbatim() {
+        #[derive(Debug, PartialEq)]
+        struct Marker(u64);
+
+        let items: Vec<u64> = (0..16).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&PoolConfig::with_workers(4), &items, |&x| {
+                if x == 5 {
+                    std::panic::panic_any(Marker(x));
+                }
+                x
+            })
+        }))
+        .expect_err("pool must re-raise the worker panic");
+        let marker = caught
+            .downcast::<Marker>()
+            .expect("payload type must survive propagation");
+        assert_eq!(*marker, Marker(5));
+    }
+
+    /// A panicking closure must not leak results: every successfully
+    /// completed item is dropped exactly once, and no drop is lost.
+    #[test]
+    fn completed_slots_drop_cleanly_on_panic() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        static CREATED: AtomicUsize = AtomicUsize::new(0);
+
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&PoolConfig::with_workers(4), &items, |&x| {
+                if x == 40 {
+                    panic!("late failure");
+                }
+                CREATED.fetch_add(1, Ordering::SeqCst);
+                Counted
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            CREATED.load(Ordering::SeqCst),
+            "every constructed result must be dropped exactly once"
+        );
+        assert!(
+            CREATED.load(Ordering::SeqCst) >= 1,
+            "some items completed first"
+        );
+    }
+
+    /// When several workers panic, the lowest claimed index wins so the
+    /// caller sees a deterministic payload.
+    #[test]
+    fn first_failing_index_wins() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&PoolConfig::with_workers(8), &items, |&x| -> u64 {
+                // Everyone panics; index 0 must be the payload that surfaces
+                // regardless of scheduling, because it is the lowest index.
+                std::panic::panic_any(x);
+            })
+        }))
+        .expect_err("all workers panic");
+        let idx = caught.downcast::<u64>().expect("u64 payload");
+        assert_eq!(*idx, 0);
     }
 
     #[test]

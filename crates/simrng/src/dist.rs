@@ -1,0 +1,209 @@
+//! Distribution helpers shared by workload synthesis, the learner, and
+//! ANN initialization.
+//!
+//! Everything here is a thin, deterministic transform over [`RngCore`]
+//! draws — inverse-CDF where a closed form exists, Box–Muller for the
+//! normal — so the sampled streams are a pure function of the seed.
+
+use crate::{Rng, RngCore};
+
+/// Bernoulli draw: `true` with probability `p` (alias of
+/// [`Rng::gen_bool`], kept for call sites that read better as a
+/// distribution).
+#[inline]
+pub fn bernoulli<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen_bool(p)
+}
+
+/// Exponential sample with the given mean, via inverse CDF.
+///
+/// The uniform is drawn from `[EPSILON, 1)` so `ln` never sees zero.
+#[inline]
+pub fn exponential<R: RngCore + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Poisson-process inter-arrival gap for a process with the given rate
+/// (events per unit time): an exponential with mean `1 / rate`.
+#[inline]
+pub fn poisson_interarrival<R: RngCore + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "poisson rate must be positive");
+    exponential(rng, 1.0 / rate)
+}
+
+/// Bounded-Zipf sample over `[0, n)` via the continuous inverse-CDF
+/// approximation: `F(x) ∝ x^(1-θ)` on `[1, n]`, so
+/// `x = ((n^(1-θ) - 1)·u + 1)^(1/(1-θ))`. Rank 1 (the hottest item) maps
+/// to 0. Requires `0 < θ < 1`.
+///
+/// The approximation slightly underweights the very first ranks relative
+/// to exact Zipf but preserves the power-law head/tail shape that matters
+/// for GC and cache behaviour.
+pub fn zipf<R: RngCore + ?Sized>(rng: &mut R, n: u64, theta: f64) -> u64 {
+    debug_assert!(n > 0);
+    debug_assert!(0.0 < theta && theta < 1.0);
+    let one_minus = 1.0 - theta;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let x = ((n as f64).powf(one_minus) - 1.0)
+        .mul_add(u, 1.0)
+        .powf(1.0 / one_minus);
+    (x as u64 - 1).min(n - 1)
+}
+
+/// Hot/cold draw over `[0, n)`: with probability `hot_prob` the sample
+/// falls uniformly in the hot head `[0, ceil(n·hot_frac))`, otherwise
+/// uniformly in the cold tail.
+pub fn hot_cold<R: RngCore + ?Sized>(rng: &mut R, n: u64, hot_frac: f64, hot_prob: f64) -> u64 {
+    debug_assert!(n > 0);
+    debug_assert!((0.0..=1.0).contains(&hot_frac));
+    let hot = ((n as f64 * hot_frac).ceil() as u64).clamp(1, n);
+    if hot == n || rng.gen_bool(hot_prob) {
+        rng.gen_range(0..hot)
+    } else {
+        rng.gen_range(hot..n)
+    }
+}
+
+/// Standard-normal sample via Box–Muller (two uniforms per pair; the
+/// second value is discarded to keep the function stateless).
+pub fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+#[inline]
+pub fn normal<R: RngCore + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    standard_normal(rng).mul_add(std_dev, mean)
+}
+
+/// The Xavier/Glorot uniform bound `sqrt(6 / (fan_in + fan_out))`.
+#[inline]
+pub fn xavier_limit(fan_in: usize, fan_out: usize) -> f32 {
+    debug_assert!(fan_in + fan_out > 0);
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// One Xavier/Glorot-uniform weight: uniform in `±xavier_limit`.
+#[inline]
+pub fn xavier_uniform<R: RngCore + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> f32 {
+    let limit = xavier_limit(fan_in, fan_out);
+    rng.gen_range(-limit..limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn exponential_mean_is_respected() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 250.0)).sum::<f64>() / n as f64;
+        assert!((mean - 250.0).abs() / 250.0 < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = SimRng::seed_from_u64(2);
+        assert!((0..10_000).all(|_| exponential(&mut rng, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn poisson_interarrival_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| poisson_interarrival(&mut rng, 10_000.0))
+            .sum();
+        let rate = n as f64 / total;
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range_and_is_head_heavy() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 10_000u64;
+        let draws = 20_000;
+        let mut head = 0usize;
+        for _ in 0..draws {
+            let v = zipf(&mut rng, n, 0.9);
+            assert!(v < n);
+            if v < n / 100 {
+                head += 1;
+            }
+        }
+        assert!(
+            head as f64 / draws as f64 > 0.2,
+            "hottest 1% drew only {head}/{draws}"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_increases_with_theta() {
+        let head_frac = |theta: f64| {
+            let mut rng = SimRng::seed_from_u64(5);
+            (0..10_000)
+                .filter(|_| zipf(&mut rng, 10_000, theta) < 1_000)
+                .count()
+        };
+        assert!(head_frac(0.9) > head_frac(0.5));
+        assert!(head_frac(0.5) > head_frac(0.1));
+    }
+
+    #[test]
+    fn hot_cold_concentrates_on_head() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 1_000u64;
+        let hits = (0..20_000)
+            .filter(|_| hot_cold(&mut rng, n, 0.1, 0.9) < 100)
+            .count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hot_cold_degenerate_head_still_in_range() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(hot_cold(&mut rng, 1, 1.0, 0.5) == 0);
+            assert!(hot_cold(&mut rng, 10, 1.0, 0.5) < 10);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn bernoulli_alias_matches_gen_bool() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert_eq!(bernoulli(&mut a, 0.4), crate::Rng::gen_bool(&mut b, 0.4));
+        }
+    }
+
+    #[test]
+    fn xavier_init_is_bounded() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let limit = xavier_limit(9, 64);
+        assert!((limit - (6.0f32 / 73.0).sqrt()).abs() < 1e-7);
+        for _ in 0..10_000 {
+            let w = xavier_uniform(&mut rng, 9, 64);
+            assert!(w.abs() <= limit);
+        }
+    }
+}

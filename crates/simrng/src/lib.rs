@@ -1,0 +1,554 @@
+//! Seedable, dependency-free pseudo-random numbers for the SSDKeeper
+//! reproduction.
+//!
+//! Every stochastic component of the pipeline — workload synthesis, the
+//! strategy learner's mixed-workload sampler, ANN weight initialization,
+//! test fixtures — draws from this crate so that the whole stack builds
+//! hermetically (no external registry) and recorded artifacts stay
+//! bit-reproducible across environments.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded by
+//! expanding a single `u64` through **SplitMix64**. Both algorithms are
+//! public-domain reference constructions with published constants; the
+//! implementation here is frozen — changing the output stream for a given
+//! seed would invalidate every recorded trace, dataset, and report, so any
+//! future generator must be added under a new type, never by editing
+//! [`SimRng`].
+//!
+//! The API mirrors the subset of the `rand` crate the codebase used
+//! (`Rng::gen_range`/`gen`/`gen_bool`, slice shuffling) so call sites port
+//! mechanically, plus the distribution helpers the simulator needs
+//! ([`dist`]: Bernoulli, exponential / Poisson inter-arrival, bounded
+//! Zipf, hot/cold draws, normal and Xavier init).
+#![warn(missing_docs)]
+
+pub mod dist;
+
+/// Minimal generator interface: a source of uniform `u64`s.
+///
+/// Split from [`Rng`] so that `&mut R` forwards automatically and the
+/// extension methods on [`Rng`] come for free for every implementor.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The workspace's deterministic generator: xoshiro256++.
+///
+/// 256 bits of state, period 2²⁵⁶ − 1, passes BigCrush; ~1 ns per draw.
+/// Construct it with [`SimRng::seed_from_u64`] — identical seeds yield
+/// bit-identical streams on every platform, forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: the seed-expansion generator recommended by the
+/// xoshiro authors. Also usable standalone for cheap stateless mixing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Builds a generator from a 64-bit seed by running SplitMix64 four
+    /// times, exactly as the xoshiro reference code prescribes.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot produce four zeros from any seed, but guard anyway so the
+        // invariant is local.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Derives an independent child stream (e.g. one per work item) while
+    /// advancing this generator by one draw.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+}
+
+impl RngCore for SimRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's multiply-shift
+/// rejection method. `span` must be non-zero.
+#[inline]
+pub fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "uniform_u64 span must be non-zero");
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types drawable uniformly over their whole domain with [`Rng::gen`]
+/// (for floats: uniform in `[0, 1)`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit; xoshiro++'s low bits are fine but the high
+        // ones are conventionally preferred.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of mantissa precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)` (or `[low, high]` when
+    /// `inclusive`). Panics on an empty range.
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range called with an empty range"
+                );
+                let lo = low as u64;
+                let hi = high as u64;
+                let span = if inclusive {
+                    // hi - lo + 1 wraps to 0 exactly when the range covers
+                    // the whole u64 domain; every bit pattern is then valid.
+                    (hi - lo).wrapping_add(1)
+                } else {
+                    hi - lo
+                };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo + uniform_u64(rng, span)) as $t
+            }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range called with an empty range"
+                );
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (low as i64).wrapping_add(uniform_u64(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high || (inclusive && low == high),
+            "gen_range requires finite bounds with low < high"
+        );
+        let v = f64::sample(rng).mul_add(high - low, low);
+        // Rounding can land exactly on `high`; keep the half-open contract.
+        if !inclusive && v >= high {
+            high.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high || (inclusive && low == high),
+            "gen_range requires finite bounds with low < high"
+        );
+        let v = f32::sample(rng).mul_add(high - low, low);
+        if !inclusive && v >= high {
+            high.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`] (`a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly over `T`'s domain (floats: `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random slice operations (Fisher–Yates shuffling, uniform choice).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from the published xoshiro256++ C code seeded by
+    /// SplitMix64(0). These pin the stream forever: if this test breaks,
+    /// every recorded artifact in the repository silently changes meaning.
+    #[test]
+    fn golden_stream_seed_zero() {
+        let mut rng = SimRng::seed_from_u64(0);
+        // State after SplitMix64 expansion of seed 0.
+        assert_eq!(
+            rng.s,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+            ]
+        );
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            [
+                0x53175D61490B23DF,
+                0x61DA6F3DC380D507,
+                0x5C0FDF91EC9A7BFC,
+                0x02EEBF8C3BBE5E1A,
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = SimRng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = SimRng::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(0xDEAD_BEF0);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = SimRng::seed_from_u64(7);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn gen_range_int_bounds_hold() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..17);
+            assert!((10..17).contains(&v));
+            let w: u32 = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let s: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let u: usize = rng.gen_range(0..2);
+            assert!(u < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "500 draws must cover 7 slots");
+    }
+
+    #[test]
+    fn gen_range_float_bounds_hold() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.05..1.0);
+            assert!((0.05..1.0).contains(&v));
+            let w: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_panic() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut SimRng::seed_from_u64(9));
+        b.shuffle(&mut SimRng::seed_from_u64(9));
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, (0..50).collect::<Vec<_>>(), "50 elements should move");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..50).collect::<Vec<_>>(),
+            "permutation preserves elements"
+        );
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn rng_works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0..100)
+        }
+        let mut rng = SimRng::seed_from_u64(11);
+        // Both direct and reborrowed calls must compile and agree on type.
+        let a = draw(&mut rng);
+        let b = draw(&mut &mut rng);
+        assert!(a < 100 && b < 100);
+    }
+
+    #[test]
+    fn standard_floats_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_is_unbiased_over_non_power_span() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[uniform_u64(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 600, "counts {counts:?}");
+        }
+    }
+}

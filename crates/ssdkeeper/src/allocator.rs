@@ -132,7 +132,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "42 strategy classes")]
     fn wrong_topology_is_rejected() {
-        let net = Network::builder(9, 1).hidden(8, Activation::ReLU).output(10).build();
+        let net = Network::builder(9, 1)
+            .hidden(8, Activation::ReLU)
+            .output(10)
+            .build();
         let _ = ChannelAllocator::new(net, 1.0);
     }
 

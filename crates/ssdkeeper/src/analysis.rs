@@ -33,7 +33,10 @@ pub struct RegretSummary {
 
 /// Per-sample regrets of the allocator's predictions; `None` when the
 /// dataset carries no metrics.
-pub fn prediction_regrets(allocator: &ChannelAllocator, dataset: &LabelledDataset) -> Option<Vec<f64>> {
+pub fn prediction_regrets(
+    allocator: &ChannelAllocator,
+    dataset: &LabelledDataset,
+) -> Option<Vec<f64>> {
     let classes = Strategy::all_for_tenants(4).len();
     let regrets: Vec<f64> = dataset
         .samples
@@ -49,7 +52,10 @@ pub fn prediction_regrets(allocator: &ChannelAllocator, dataset: &LabelledDatase
 }
 
 /// Summarizes the regret distribution; `None` without metrics.
-pub fn regret_summary(allocator: &ChannelAllocator, dataset: &LabelledDataset) -> Option<RegretSummary> {
+pub fn regret_summary(
+    allocator: &ChannelAllocator,
+    dataset: &LabelledDataset,
+) -> Option<RegretSummary> {
     let mut regrets = prediction_regrets(allocator, dataset)?;
     regrets.sort_by(|a, b| a.partial_cmp(b).expect("regrets are finite"));
     let n = regrets.len();
@@ -96,7 +102,12 @@ pub fn accuracy_by_level(
         .enumerate()
         .filter(|(_, (n, _, _))| *n > 0)
         .map(|(level, (n, exact, eff))| {
-            (level as u32, n, exact as f64 / n as f64, eff as f64 / n as f64)
+            (
+                level as u32,
+                n,
+                exact as f64 / n as f64,
+                eff as f64 / n as f64,
+            )
         })
         .collect()
 }
@@ -142,7 +153,10 @@ impl Family {
 }
 
 /// 3×3 family confusion matrix: `m[true_family][predicted_family]`.
-pub fn family_confusion(allocator: &ChannelAllocator, dataset: &LabelledDataset) -> [[usize; 3]; 3] {
+pub fn family_confusion(
+    allocator: &ChannelAllocator,
+    dataset: &LabelledDataset,
+) -> [[usize; 3]; 3] {
     let mut m = [[0usize; 3]; 3];
     for s in &dataset.samples {
         let truth = Family::of(s.best).index();

@@ -105,9 +105,7 @@ impl Keeper {
 
         // --- Features collector over [0, T). ---
         let obs = ObservedFeatures::collect(trace, tenants, t_ns);
-        let scale = IntensityScale::new(
-            self.allocator.max_total_iops() * (t_ns as f64 / 1e9),
-        );
+        let scale = IntensityScale::new(self.allocator.max_total_iops() * (t_ns as f64 / 1e9));
         let features = FeatureVector::from_observed(&obs, &scale);
 
         // --- Strategy prediction at t == T. ---

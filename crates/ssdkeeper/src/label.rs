@@ -58,7 +58,11 @@ pub fn run_under_strategy(
     lpn_spaces: &[u64],
     eval: &EvalConfig,
 ) -> Result<SimReport, SimError> {
-    assert_eq!(rw_chars.len(), lpn_spaces.len(), "one char and space per tenant");
+    assert_eq!(
+        rw_chars.len(),
+        lpn_spaces.len(),
+        "one char and space per tenant"
+    );
     let lists = strategy.assign_channels(rw_chars, &eval.ssd);
     let mut layout = TenantLayout::from_channel_lists(&lists, &eval.ssd)
         .expect("strategy assignments are always valid channel lists");
@@ -84,11 +88,13 @@ pub fn evaluate_all(
     let strategies = Strategy::all_for_tenants(tenants);
 
     let results = parallel::par_map(&eval.pool, &strategies, |&strategy| {
-        run_under_strategy(trace, strategy, &rw_chars, lpn_spaces, eval).map(|report| StrategyEval {
-            strategy,
-            read_us: report.read.mean_us(),
-            write_us: report.write.mean_us(),
-            metric_us: report.total_latency_metric_us(),
+        run_under_strategy(trace, strategy, &rw_chars, lpn_spaces, eval).map(|report| {
+            StrategyEval {
+                strategy,
+                read_us: report.read.mean_us(),
+                write_us: report.write.mean_us(),
+                metric_us: report.total_latency_metric_us(),
+            }
         })
     });
     results.into_iter().collect()
@@ -147,8 +153,18 @@ mod tests {
     }
 
     fn two_tenant_trace(write_iops: f64, read_iops: f64, n: usize) -> Vec<IoRequest> {
-        let w = generate_tenant_stream(&TenantSpec::synthetic("w", 1.0, write_iops, 1 << 12), 0, n, 11);
-        let r = generate_tenant_stream(&TenantSpec::synthetic("r", 0.0, read_iops, 1 << 12), 1, n, 22);
+        let w = generate_tenant_stream(
+            &TenantSpec::synthetic("w", 1.0, write_iops, 1 << 12),
+            0,
+            n,
+            11,
+        );
+        let r = generate_tenant_stream(
+            &TenantSpec::synthetic("r", 0.0, read_iops, 1 << 12),
+            1,
+            n,
+            22,
+        );
         mix_chronological(&[w, r], usize::MAX)
     }
 
@@ -156,9 +172,14 @@ mod tests {
     fn run_under_strategy_produces_report() {
         let trace = two_tenant_trace(5_000.0, 5_000.0, 200);
         let eval = small_eval();
-        let report =
-            run_under_strategy(&trace, Strategy::Shared, &[0, 1], &[1 << 12, 1 << 12], &eval)
-                .unwrap();
+        let report = run_under_strategy(
+            &trace,
+            Strategy::Shared,
+            &[0, 1],
+            &[1 << 12, 1 << 12],
+            &eval,
+        )
+        .unwrap();
         assert_eq!(report.total.count as usize, trace.len());
     }
 
@@ -206,13 +227,23 @@ mod tests {
     fn hybrid_flag_changes_policies_not_correctness() {
         let trace = two_tenant_trace(6_000.0, 6_000.0, 150);
         let mut eval = small_eval();
-        let base =
-            run_under_strategy(&trace, Strategy::Isolated, &[0, 1], &[1 << 12, 1 << 12], &eval)
-                .unwrap();
+        let base = run_under_strategy(
+            &trace,
+            Strategy::Isolated,
+            &[0, 1],
+            &[1 << 12, 1 << 12],
+            &eval,
+        )
+        .unwrap();
         eval.hybrid = true;
-        let hybrid =
-            run_under_strategy(&trace, Strategy::Isolated, &[0, 1], &[1 << 12, 1 << 12], &eval)
-                .unwrap();
+        let hybrid = run_under_strategy(
+            &trace,
+            Strategy::Isolated,
+            &[0, 1],
+            &[1 << 12, 1 << 12],
+            &eval,
+        )
+        .unwrap();
         assert_eq!(base.total.count, hybrid.total.count);
     }
 

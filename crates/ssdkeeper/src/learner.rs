@@ -15,7 +15,7 @@ use crate::strategy::Strategy;
 use ann::prelude::*;
 use ann::train::TrainHistory;
 use flash_sim::IoRequest;
-use rand::{Rng, SeedableRng};
+use simrng::Rng;
 use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
 
 /// How the synthetic training distribution is sampled.
@@ -86,8 +86,12 @@ impl LabelledDataset {
             self.samples.iter().map(|s| s.features.to_input()).collect();
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let labels: Vec<usize> = self.samples.iter().map(|s| s.label).collect();
-        Dataset::new(Matrix::from_rows(&refs), labels, Strategy::all_for_tenants(4).len())
-            .expect("labels come from the strategy space")
+        Dataset::new(
+            Matrix::from_rows(&refs),
+            labels,
+            Strategy::all_for_tenants(4).len(),
+        )
+        .expect("labels come from the strategy space")
     }
 
     /// Distribution of labels over the 42 classes.
@@ -102,12 +106,21 @@ impl LabelledDataset {
     /// Serializes to a simple text form: one line per sample holding the
     /// feature CSV, the label, and (v2) the per-strategy metrics CSV.
     pub fn to_text(&self) -> String {
-        let mut out = format!("ssdk-dataset-v2 {} {}\n", self.samples.len(), self.max_total_iops);
+        let mut out = format!(
+            "ssdk-dataset-v2 {} {}\n",
+            self.samples.len(),
+            self.max_total_iops
+        );
         for s in &self.samples {
             let x = s.features.to_input();
             let row: Vec<String> = x.iter().map(|v| format!("{v}")).collect();
             let metrics: Vec<String> = s.metrics_us.iter().map(|v| format!("{v:.3}")).collect();
-            out.push_str(&format!("{};{};{}\n", row.join(","), s.label, metrics.join(",")));
+            out.push_str(&format!(
+                "{};{};{}\n",
+                row.join(","),
+                s.label,
+                metrics.join(",")
+            ));
         }
         out
     }
@@ -130,12 +143,16 @@ impl LabelledDataset {
             let xs = fields.next()?;
             let label_str = fields.next()?;
             let metrics_us: Vec<f64> = match fields.next() {
-                Some(m) if !m.trim().is_empty() => {
-                    m.split(',').map(|v| v.trim().parse().ok()).collect::<Option<_>>()?
-                }
+                Some(m) if !m.trim().is_empty() => m
+                    .split(',')
+                    .map(|v| v.trim().parse().ok())
+                    .collect::<Option<_>>()?,
                 _ => Vec::new(),
             };
-            let vals: Vec<f32> = xs.split(',').map(|v| v.parse().ok()).collect::<Option<_>>()?;
+            let vals: Vec<f32> = xs
+                .split(',')
+                .map(|v| v.parse().ok())
+                .collect::<Option<_>>()?;
             if vals.len() != FEATURE_DIM {
                 return None;
             }
@@ -143,12 +160,7 @@ impl LabelledDataset {
             let best = Strategy::from_index(label, 4)?;
             let features = FeatureVector {
                 intensity_level: (vals[0] * 19.0).round() as u32,
-                rw_char: [
-                    vals[1] as u8,
-                    vals[2] as u8,
-                    vals[3] as u8,
-                    vals[4] as u8,
-                ],
+                rw_char: [vals[1] as u8, vals[2] as u8, vals[3] as u8, vals[4] as u8],
                 shares: [
                     vals[5] as f64,
                     vals[6] as f64,
@@ -292,11 +304,7 @@ pub fn effective_accuracy_subset(
         }
         scored += 1;
         let predicted = allocator.predict(&s.features).index(4);
-        let best = s
-            .metrics_us
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let best = s.metrics_us.iter().copied().fold(f64::INFINITY, f64::min);
         if s.metrics_us[predicted] <= best * (1.0 + rel_tol) {
             hits += 1;
         }
@@ -306,9 +314,9 @@ pub fn effective_accuracy_subset(
 
 /// Deterministic 7:3 train/test split of `n` sample indices.
 pub fn split_indices(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    use rand::seq::SliceRandom;
+    use simrng::SliceRandom;
     let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = simrng::SimRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
     let cut = ((n as f64) * 0.7).round() as usize;
     let test = order.split_off(cut);
@@ -393,8 +401,7 @@ impl Learner {
             .enumerate()
             .map(|(t, spec)| {
                 let share = weights[t] / wsum;
-                let count =
-                    ((self.spec.requests_per_sample as f64) * share).ceil() as usize;
+                let count = ((self.spec.requests_per_sample as f64) * share).ceil() as usize;
                 generate_tenant_stream(spec, t as u16, count.max(1), rng.gen())
             })
             .collect();
@@ -421,7 +428,7 @@ impl Learner {
 
     /// Generates the full labelled dataset (Algorithm 1, lines 3–8).
     pub fn generate_dataset(&self, seed: u64) -> LabelledDataset {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = simrng::SimRng::seed_from_u64(seed);
         let samples = (0..self.spec.samples)
             .map(|_| {
                 let (trace, _) = self.sample_mixed_workload(&mut rng);
@@ -496,7 +503,7 @@ mod tests {
     #[test]
     fn sampled_workloads_have_four_live_tenants() {
         let learner = Learner::new(tiny_spec());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = simrng::SimRng::seed_from_u64(1);
         let (trace, specs) = learner.sample_mixed_workload(&mut rng);
         assert_eq!(specs.len(), 4);
         assert!(trace.len() <= 300);
@@ -510,7 +517,7 @@ mod tests {
     #[test]
     fn workload_write_ratios_respect_dominance() {
         let learner = Learner::new(tiny_spec());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = simrng::SimRng::seed_from_u64(2);
         let (_, specs) = learner.sample_mixed_workload(&mut rng);
         for s in specs {
             assert!(
@@ -524,7 +531,7 @@ mod tests {
     #[test]
     fn labelling_produces_valid_class_ids() {
         let learner = Learner::new(tiny_spec());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = simrng::SimRng::seed_from_u64(3);
         let (trace, _) = learner.sample_mixed_workload(&mut rng);
         let sample = learner.label_workload(&trace);
         assert!(sample.label < 42);
@@ -566,7 +573,10 @@ mod tests {
     fn optimizer_choices_cover_table3() {
         assert_eq!(OptimizerChoice::PAPER.len(), 4);
         assert_eq!(OptimizerChoice::AdamLogistic.name(), "Adam-logistic");
-        assert_eq!(OptimizerChoice::AdamLogistic.activation(), Activation::Logistic);
+        assert_eq!(
+            OptimizerChoice::AdamLogistic.activation(),
+            Activation::Logistic
+        );
         assert_eq!(OptimizerChoice::AdamRelu.activation(), Activation::ReLU);
         let opt = OptimizerChoice::Sgd.build();
         assert_eq!(opt.name(), "SGD");

@@ -38,7 +38,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod allocator;
 pub mod analysis;
 pub mod features;

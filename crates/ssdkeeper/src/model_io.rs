@@ -39,7 +39,9 @@ pub fn parse_model(text: &str) -> Result<TrainedModel, ModelIoError> {
     if header.trim() != HEADER {
         return Err(parse_err(1, "missing ssdkeeper-model-v1 header"));
     }
-    let calib = lines.next().ok_or_else(|| parse_err(2, "missing calibration line"))?;
+    let calib = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing calibration line"))?;
     let max_total_iops: f64 = calib
         .strip_prefix("max_total_iops ")
         .and_then(|v| v.trim().parse().ok())
@@ -47,7 +49,9 @@ pub fn parse_model(text: &str) -> Result<TrainedModel, ModelIoError> {
     if max_total_iops <= 0.0 || max_total_iops.is_nan() {
         return Err(parse_err(2, "max_total_iops must be positive"));
     }
-    let rest = lines.next().ok_or_else(|| parse_err(3, "missing network body"))?;
+    let rest = lines
+        .next()
+        .ok_or_else(|| parse_err(3, "missing network body"))?;
     let network = parse_network(rest)?;
     Ok(TrainedModel {
         network,

@@ -17,10 +17,9 @@
 //! notation.
 
 use flash_sim::SsdConfig;
-use serde::{Deserialize, Serialize};
 
 /// One channel-allocation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Every tenant stripes over all channels (traditional shared SSD).
     Shared,
@@ -125,7 +124,13 @@ impl Strategy {
                 let read_set: Vec<usize> = (w..channels).collect();
                 rw_chars
                     .iter()
-                    .map(|&c| if c == 0 { write_set.clone() } else { read_set.clone() })
+                    .map(|&c| {
+                        if c == 0 {
+                            write_set.clone()
+                        } else {
+                            read_set.clone()
+                        }
+                    })
                     .collect()
             }
             Strategy::FourPart(parts) => {
@@ -196,9 +201,7 @@ fn compositions_of_8_into_4() -> Vec<[u8; 4]> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    // Import selectively: proptest's prelude exports a `Strategy` trait
-    // that would shadow our `Strategy` enum.
-    use proptest::prelude::{prop_assert, prop_assert_eq, proptest};
+    use simrng::{Rng, SimRng};
 
     fn cfg() -> SsdConfig {
         SsdConfig::paper_table1()
@@ -305,38 +308,56 @@ mod tests {
 
     #[test]
     fn canonical_label_collapses_orderings() {
-        assert_eq!(Strategy::FourPart([1, 5, 1, 1]).canonical_label(), "5:1:1:1");
-        assert_eq!(Strategy::FourPart([1, 2, 4, 1]).canonical_label(), "4:2:1:1");
-        assert_eq!(Strategy::TwoPart { write_channels: 2 }.canonical_label(), "2:6");
+        assert_eq!(
+            Strategy::FourPart([1, 5, 1, 1]).canonical_label(),
+            "5:1:1:1"
+        );
+        assert_eq!(
+            Strategy::FourPart([1, 2, 4, 1]).canonical_label(),
+            "4:2:1:1"
+        );
+        assert_eq!(
+            Strategy::TwoPart { write_channels: 2 }.canonical_label(),
+            "2:6"
+        );
         assert_eq!(Strategy::Shared.canonical_label(), "Shared");
     }
 
-    proptest! {
-        /// Every strategy yields non-empty, in-range channel sets covering
-        /// each tenant, and four-part assignments are disjoint and complete.
-        #[test]
-        fn assignments_are_well_formed(idx in 0usize..42, chars in proptest::collection::vec(0u8..2, 4)) {
-            let s = Strategy::from_index(idx, 4).unwrap();
-            let sets = s.assign_channels(&chars, &cfg());
-            prop_assert_eq!(sets.len(), 4);
-            for set in &sets {
-                prop_assert!(!set.is_empty());
-                prop_assert!(set.iter().all(|&c| c < 8));
-            }
-            if let Strategy::FourPart(_) = s {
-                let mut owned = [0u32; 8];
+    /// Every strategy yields non-empty, in-range channel sets covering
+    /// each tenant, and four-part assignments are disjoint and complete.
+    /// Exhaustive over all 42 strategies, with seeded random tenant
+    /// characteristics per strategy.
+    #[test]
+    fn assignments_are_well_formed() {
+        let mut rng = SimRng::seed_from_u64(701);
+        for idx in 0..42usize {
+            for _ in 0..8 {
+                let chars: Vec<u8> = (0..4).map(|_| rng.gen_range(0u8..2)).collect();
+                let s = Strategy::from_index(idx, 4).unwrap();
+                let sets = s.assign_channels(&chars, &cfg());
+                assert_eq!(sets.len(), 4);
                 for set in &sets {
-                    for &c in set {
-                        owned[c] += 1;
-                    }
+                    assert!(!set.is_empty());
+                    assert!(set.iter().all(|&c| c < 8));
                 }
-                prop_assert!(owned.iter().all(|&n| n == 1));
+                if let Strategy::FourPart(_) = s {
+                    let mut owned = [0u32; 8];
+                    for set in &sets {
+                        for &c in set {
+                            owned[c] += 1;
+                        }
+                    }
+                    assert!(owned.iter().all(|&n| n == 1), "strategy {idx}");
+                }
             }
         }
+    }
 
-        /// Canonical labels never depend on part order.
-        #[test]
-        fn canonical_is_order_invariant(idx in 8usize..42) {
+    /// Canonical labels never depend on part order. Exhaustive over all
+    /// four-part strategies.
+    #[test]
+    fn canonical_is_order_invariant() {
+        for idx in 8..42usize {
             if let Some(Strategy::FourPart(parts)) = Strategy::from_index(idx, 4) {
                 let mut rev = parts;
                 rev.reverse();
@@ -344,7 +365,7 @@ mod tests {
                 // is the same composition).
                 let a = Strategy::FourPart(parts).canonical_label();
                 let b = Strategy::FourPart(rev).canonical_label();
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "strategy {idx}");
             }
         }
     }

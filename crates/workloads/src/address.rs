@@ -1,7 +1,7 @@
 //! Address (LPN) generation for the three locality patterns.
 
 use crate::spec::AddressPattern;
-use rand::Rng;
+use simrng::Rng;
 
 /// Stateful LPN generator for one tenant.
 #[derive(Debug, Clone)]
@@ -57,22 +57,16 @@ impl AddressGen {
 /// to exact Zipf but preserves the power-law head/tail shape that matters
 /// for GC and cache behaviour.
 pub fn zipf_approx(n: u64, theta: f64, rng: &mut impl Rng) -> u64 {
-    debug_assert!(n > 0);
-    debug_assert!(0.0 < theta && theta < 1.0);
-    let one_minus = 1.0 - theta;
-    let u: f64 = rng.gen_range(0.0..1.0);
-    let x = ((n as f64).powf(one_minus) - 1.0).mul_add(u, 1.0).powf(1.0 / one_minus);
-    (x as u64 - 1).min(n - 1)
+    simrng::dist::zipf(rng, n, theta)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use simrng::Rng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> simrng::SimRng {
+        simrng::SimRng::seed_from_u64(seed)
     }
 
     #[test]
@@ -156,18 +150,27 @@ mod tests {
         let _ = AddressGen::new(AddressPattern::Uniform, 0);
     }
 
-    proptest! {
-        /// Zipf samples always fall inside [0, n).
-        #[test]
-        fn zipf_in_range(n in 1u64..100_000, theta in 0.05f64..0.95, seed in 0u64..1000) {
-            let mut r = rng(seed);
+    /// Zipf samples always fall inside [0, n), over seeded random
+    /// (n, theta) pairs.
+    #[test]
+    fn zipf_in_range() {
+        let mut meta = rng(801);
+        for _ in 0..512 {
+            let n = meta.gen_range(1u64..100_000);
+            let theta = meta.gen_range(0.05f64..0.95);
+            let mut r = rng(meta.gen());
             let v = zipf_approx(n, theta, &mut r);
-            prop_assert!(v < n);
+            assert!(v < n, "n {n} theta {theta}");
         }
+    }
 
-        /// All patterns produce in-range addresses.
-        #[test]
-        fn all_patterns_in_range(seed in 0u64..200, size in 1u32..8) {
+    /// All patterns produce in-range addresses.
+    #[test]
+    fn all_patterns_in_range() {
+        let mut meta = rng(802);
+        for _ in 0..64 {
+            let seed: u64 = meta.gen();
+            let size = meta.gen_range(1u32..8);
             let patterns = [
                 AddressPattern::Uniform,
                 AddressPattern::Zipf { theta: 0.8 },
@@ -177,7 +180,7 @@ mod tests {
                 let mut g = AddressGen::new(p, 513);
                 let mut r = rng(seed);
                 for _ in 0..64 {
-                    prop_assert!(g.next_lpn(size, &mut r) < 513);
+                    assert!(g.next_lpn(size, &mut r) < 513);
                 }
             }
         }

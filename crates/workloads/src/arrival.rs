@@ -1,7 +1,7 @@
 //! Arrival-time generation.
 
 use crate::spec::ArrivalProcess;
-use rand::Rng;
+use simrng::Rng;
 
 /// Stateful generator of monotonically increasing arrival timestamps.
 #[derive(Debug, Clone)]
@@ -60,19 +60,17 @@ impl ArrivalGen {
     }
 }
 
-/// Exponential sample with the given mean, via inverse CDF.
+/// Exponential sample with the given mean, via [`simrng::dist`].
 fn exponential(mean: f64, rng: &mut impl Rng) -> f64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    -mean * u.ln()
+    simrng::dist::exponential(rng, mean)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> simrng::SimRng {
+        simrng::SimRng::seed_from_u64(seed)
     }
 
     #[test]
@@ -154,7 +152,10 @@ mod tests {
             },
             4,
         );
-        assert!(bursty > poisson * 2.0, "bursty CV² {bursty} vs poisson {poisson}");
+        assert!(
+            bursty > poisson * 2.0,
+            "bursty CV² {bursty} vs poisson {poisson}"
+        );
     }
 
     #[test]

@@ -107,7 +107,8 @@ mod tests {
     fn shares_reflect_intensity_ratio() {
         // Tenant 1 runs at 4x the rate of tenant 0.
         let s0 = generate_tenant_stream(&TenantSpec::synthetic("a", 0.5, 1_000.0, 64), 0, 4_000, 1);
-        let s1 = generate_tenant_stream(&TenantSpec::synthetic("b", 0.5, 4_000.0, 64), 1, 16_000, 2);
+        let s1 =
+            generate_tenant_stream(&TenantSpec::synthetic("b", 0.5, 4_000.0, 64), 1, 16_000, 2);
         let mixed = mix_chronological(&[s0, s1], 10_000);
         let shares = tenant_shares(&mixed, 2);
         assert!((shares[0] - 0.2).abs() < 0.03, "share {}", shares[0]);

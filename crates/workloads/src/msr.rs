@@ -146,19 +146,39 @@ pub fn paper_mixes() -> [(&'static str, [MsrTrace; 4]); 4] {
     [
         (
             "Mix1",
-            [MsrTrace::Mds0, MsrTrace::Mds1, MsrTrace::Rsrch0, MsrTrace::Prxy0],
+            [
+                MsrTrace::Mds0,
+                MsrTrace::Mds1,
+                MsrTrace::Rsrch0,
+                MsrTrace::Prxy0,
+            ],
         ),
         (
             "Mix2",
-            [MsrTrace::Prxy0, MsrTrace::Src1, MsrTrace::Rsrch0, MsrTrace::Mds1],
+            [
+                MsrTrace::Prxy0,
+                MsrTrace::Src1,
+                MsrTrace::Rsrch0,
+                MsrTrace::Mds1,
+            ],
         ),
         (
             "Mix3",
-            [MsrTrace::Web2, MsrTrace::Rsrch0, MsrTrace::Prxy0, MsrTrace::Mds0],
+            [
+                MsrTrace::Web2,
+                MsrTrace::Rsrch0,
+                MsrTrace::Prxy0,
+                MsrTrace::Mds0,
+            ],
         ),
         (
             "Mix4",
-            [MsrTrace::Rsrch0, MsrTrace::Web2, MsrTrace::Mds1, MsrTrace::Prxy0],
+            [
+                MsrTrace::Rsrch0,
+                MsrTrace::Web2,
+                MsrTrace::Mds1,
+                MsrTrace::Prxy0,
+            ],
         ),
     ]
 }

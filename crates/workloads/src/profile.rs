@@ -165,7 +165,11 @@ mod tests {
         assert!((p.write_ratio - 0.4).abs() < 0.02);
         assert!((p.iops - 20_000.0).abs() / 20_000.0 < 0.05);
         // Poisson arrivals: CV² ≈ 1.
-        assert!((p.interarrival_cv2 - 1.0).abs() < 0.15, "cv2 {}", p.interarrival_cv2);
+        assert!(
+            (p.interarrival_cv2 - 1.0).abs() < 0.15,
+            "cv2 {}",
+            p.interarrival_cv2
+        );
         // Uniform addresses: low sequentiality, hot10 ≈ 0.1-0.2.
         assert!(p.sequentiality < 0.01);
         assert!(p.hot10_share < 0.3, "hot10 {}", p.hot10_share);

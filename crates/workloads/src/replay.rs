@@ -88,12 +88,18 @@ pub fn parse_msr_csv(text: &str) -> Result<Vec<BlockRecord>, ReplayError> {
         let timestamp = next()
             .ok_or(ReplayError::ShortLine { line })?
             .parse()
-            .map_err(|_| ReplayError::BadNumber { line, field: "Timestamp" })?;
+            .map_err(|_| ReplayError::BadNumber {
+                line,
+                field: "Timestamp",
+            })?;
         let host = next().ok_or(ReplayError::ShortLine { line })?.to_string();
         let disk = next()
             .ok_or(ReplayError::ShortLine { line })?
             .parse()
-            .map_err(|_| ReplayError::BadNumber { line, field: "DiskNumber" })?;
+            .map_err(|_| ReplayError::BadNumber {
+                line,
+                field: "DiskNumber",
+            })?;
         let op_str = next().ok_or(ReplayError::ShortLine { line })?;
         let op = match op_str {
             "Read" | "read" | "R" => Op::Read,
@@ -108,11 +114,17 @@ pub fn parse_msr_csv(text: &str) -> Result<Vec<BlockRecord>, ReplayError> {
         let offset_bytes = next()
             .ok_or(ReplayError::ShortLine { line })?
             .parse()
-            .map_err(|_| ReplayError::BadNumber { line, field: "Offset" })?;
+            .map_err(|_| ReplayError::BadNumber {
+                line,
+                field: "Offset",
+            })?;
         let size_bytes = next()
             .ok_or(ReplayError::ShortLine { line })?
             .parse()
-            .map_err(|_| ReplayError::BadNumber { line, field: "Size" })?;
+            .map_err(|_| ReplayError::BadNumber {
+                line,
+                field: "Size",
+            })?;
         out.push(BlockRecord {
             timestamp,
             host,
@@ -237,11 +249,17 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
     fn rejects_bad_numbers_and_ops() {
         assert_eq!(
             parse_msr_csv("abc,mds,0,Read,0,512,1").unwrap_err(),
-            ReplayError::BadNumber { line: 1, field: "Timestamp" }
+            ReplayError::BadNumber {
+                line: 1,
+                field: "Timestamp"
+            }
         );
         assert_eq!(
             parse_msr_csv("1,mds,0,Erase,0,512,1").unwrap_err(),
-            ReplayError::BadOp { line: 1, value: "Erase".to_string() }
+            ReplayError::BadOp {
+                line: 1,
+                value: "Erase".to_string()
+            }
         );
     }
 

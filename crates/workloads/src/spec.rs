@@ -1,9 +1,7 @@
 //! Tenant workload specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// Inter-arrival behaviour of a tenant's requests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Poisson arrivals: exponential gaps with the spec's mean rate.
     Poisson,
@@ -19,7 +17,7 @@ pub enum ArrivalProcess {
 }
 
 /// Spatial locality of a tenant's accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AddressPattern {
     /// Uniformly random pages.
     Uniform,
@@ -37,7 +35,7 @@ pub enum AddressPattern {
 }
 
 /// Request size distribution (in pages).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeDist {
     /// Every request is `0`-field pages.
     Fixed(u32),
@@ -61,7 +59,7 @@ impl SizeDist {
 }
 
 /// Full description of one tenant's workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantSpec {
     /// Display name (trace name for MSR-like tenants).
     pub name: String,
@@ -115,9 +113,7 @@ impl TenantSpec {
             AddressPattern::Zipf { theta } if !(0.0 < theta && theta < 1.0) => {
                 return Err(SpecError::BadZipfTheta(theta))
             }
-            AddressPattern::SequentialRuns { run_len: 0 } => {
-                return Err(SpecError::EmptyRun)
-            }
+            AddressPattern::SequentialRuns { run_len: 0 } => return Err(SpecError::EmptyRun),
             _ => {}
         }
         match self.size {
@@ -128,7 +124,10 @@ impl TenantSpec {
             _ => {}
         }
         match self.arrival {
-            ArrivalProcess::OnOff { on_fraction, burst_len } => {
+            ArrivalProcess::OnOff {
+                on_fraction,
+                burst_len,
+            } => {
                 if !(0.0 < on_fraction && on_fraction <= 1.0) {
                     return Err(SpecError::BadOnFraction(on_fraction));
                 }
@@ -228,12 +227,21 @@ mod tests {
         assert_eq!(s.validate(), Err(SpecError::ZeroSize));
         let mut s = base.clone();
         s.size = SizeDist::Uniform { min: 4, max: 2 };
-        assert_eq!(s.validate(), Err(SpecError::BadSizeRange { min: 4, max: 2 }));
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::BadSizeRange { min: 4, max: 2 })
+        );
         let mut s = base.clone();
-        s.arrival = ArrivalProcess::OnOff { on_fraction: 0.0, burst_len: 5 };
+        s.arrival = ArrivalProcess::OnOff {
+            on_fraction: 0.0,
+            burst_len: 5,
+        };
         assert_eq!(s.validate(), Err(SpecError::BadOnFraction(0.0)));
         let mut s = base;
-        s.arrival = ArrivalProcess::OnOff { on_fraction: 0.5, burst_len: 0 };
+        s.arrival = ArrivalProcess::OnOff {
+            on_fraction: 0.5,
+            burst_len: 0,
+        };
         assert_eq!(s.validate(), Err(SpecError::EmptyBurst));
     }
 

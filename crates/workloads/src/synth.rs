@@ -4,7 +4,7 @@ use crate::address::AddressGen;
 use crate::arrival::ArrivalGen;
 use crate::spec::{SizeDist, TenantSpec};
 use flash_sim::{IoRequest, Op};
-use rand::{Rng, SeedableRng};
+use simrng::Rng;
 
 /// Generates `count` requests for `tenant_id` according to `spec`.
 ///
@@ -22,7 +22,7 @@ pub fn generate_tenant_stream(
     seed: u64,
 ) -> Vec<IoRequest> {
     spec.validate().expect("invalid tenant spec");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (tenant_id as u64) << 48);
+    let mut rng = simrng::SimRng::seed_from_u64(seed ^ (tenant_id as u64) << 48);
     let mut arrivals = ArrivalGen::new(spec.arrival, spec.iops);
     let mut addrs = AddressGen::new(spec.pattern, spec.lpn_space);
     let mut out = Vec::with_capacity(count);
@@ -136,7 +136,11 @@ mod tests {
         let s = generate_tenant_stream(&spec, 0, 5_000, 4);
         assert!(s.iter().all(|r| (2..=6).contains(&r.size_pages)));
         let stats = stream_stats(&s);
-        assert!((stats.mean_size - 4.0).abs() < 0.15, "got {}", stats.mean_size);
+        assert!(
+            (stats.mean_size - 4.0).abs() < 0.15,
+            "got {}",
+            stats.mean_size
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn mixed_trace(requests: usize) -> Vec<ssdkeeper_repro::flash_sim::IoRequest> {
     mix_chronological(&streams, requests)
 }
 
-fn run(cfg: SsdConfig, dynamic_writes: bool, trace: &[ssdkeeper_repro::flash_sim::IoRequest]) -> (f64, f64) {
+fn run(
+    cfg: SsdConfig,
+    dynamic_writes: bool,
+    trace: &[ssdkeeper_repro::flash_sim::IoRequest],
+) -> (f64, f64) {
     let mut layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 12);
     if dynamic_writes {
         layout = layout.with_policy(0, PageAllocPolicy::Dynamic);
@@ -36,7 +40,10 @@ fn run(cfg: SsdConfig, dynamic_writes: bool, trace: &[ssdkeeper_repro::flash_sim
 fn main() {
     let trace = mixed_trace(20_000);
     let base = SsdConfig::scaled_for_sweeps();
-    println!("{:<42} {:>12} {:>12}", "configuration", "read (us)", "write (us)");
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "configuration", "read (us)", "write (us)"
+    );
 
     let cases: Vec<(&str, SsdConfig, bool)> = vec![
         ("baseline (plane-par, FIFO, static)", base.clone(), false),

@@ -17,7 +17,12 @@ fn main() {
     let spec = DatasetSpec::quick(128);
     let learner = Learner::new(spec);
     println!("training the strategy model on 128 labelled workloads...");
-    let model = learner.train_with(&dataset_or_generate(&learner), OptimizerChoice::AdamLogistic, 150, 3);
+    let model = learner.train_with(
+        &dataset_or_generate(&learner),
+        OptimizerChoice::AdamLogistic,
+        150,
+        3,
+    );
     println!(
         "model ready (test accuracy {:.1}%)\n",
         model.history.final_accuracy() * 100.0
@@ -47,17 +52,29 @@ fn main() {
         .map(|(i, t)| {
             let mut s = t.spec(1.0, 1 << 12);
             s.iops = iops[i];
-            generate_tenant_stream(&s, i as u16, (40_000.0 * profile.shares[i] * 1.3) as usize, i as u64)
+            generate_tenant_stream(
+                &s,
+                i as u16,
+                (40_000.0 * profile.shares[i] * 1.3) as usize,
+                i as u64,
+            )
         })
         .collect();
     let trace = mix_chronological(&streams, 40_000);
 
     let lpn_spaces = [1u64 << 12; 4];
-    let shared = keeper.run_static(&trace, Strategy::Shared, &lpn_spaces).unwrap();
-    let isolated = keeper.run_static(&trace, Strategy::Isolated, &lpn_spaces).unwrap();
+    let shared = keeper
+        .run_static(&trace, Strategy::Shared, &lpn_spaces)
+        .unwrap();
+    let isolated = keeper
+        .run_static(&trace, Strategy::Isolated, &lpn_spaces)
+        .unwrap();
     let adaptive = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
 
-    println!("\n{:<22} {:>14} {:>14}", "configuration", "total (us)", "vs Shared");
+    println!(
+        "\n{:<22} {:>14} {:>14}",
+        "configuration", "total (us)", "vs Shared"
+    );
     let base = shared.total_latency_metric_us();
     for (name, metric) in [
         ("Shared".to_string(), base),

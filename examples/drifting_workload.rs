@@ -36,9 +36,11 @@ fn drifting_trace(per_phase: usize) -> Vec<IoRequest> {
             .zip(shares.iter())
             .enumerate()
             .map(|(t, (&wr, &share))| {
-                let mut spec = TenantSpec::synthetic(format!("t{t}"), wr, total_iops * share, 1 << 12);
+                let mut spec =
+                    TenantSpec::synthetic(format!("t{t}"), wr, total_iops * share, 1 << 12);
                 if wr < 0.5 {
-                    spec.pattern = ssdkeeper_repro::workloads::AddressPattern::SequentialRuns { run_len: 16 };
+                    spec.pattern =
+                        ssdkeeper_repro::workloads::AddressPattern::SequentialRuns { run_len: 16 };
                     spec.size = ssdkeeper_repro::workloads::SizeDist::Uniform { min: 2, max: 4 };
                 } else {
                     spec.pattern = ssdkeeper_repro::workloads::AddressPattern::Zipf { theta: 0.85 };
@@ -77,24 +79,28 @@ fn drifting_trace(per_phase: usize) -> Vec<IoRequest> {
 fn main() {
     // Reuse a previously trained model when available (produced by
     // `exp --bin fig4`); otherwise train a small one on the spot.
-    let allocator = match ssdkeeper_repro::ssdkeeper::model_io::load_allocator("artifacts/model.txt") {
-        Ok(allocator) => {
-            println!("loaded artifacts/model.txt");
-            allocator
-        }
-        Err(_) => {
-            println!("no saved model found; training a small one (this takes ~1 min)...");
-            let learner = Learner::new(DatasetSpec::quick(256));
-            let model = learner.train_with(
-                &learner.generate_dataset(21),
-                OptimizerChoice::AdamLogistic,
-                200,
-                2,
-            );
-            println!("model test accuracy: {:.1}%", model.history.final_accuracy() * 100.0);
-            model.allocator()
-        }
-    };
+    let allocator =
+        match ssdkeeper_repro::ssdkeeper::model_io::load_allocator("artifacts/model.txt") {
+            Ok(allocator) => {
+                println!("loaded artifacts/model.txt");
+                allocator
+            }
+            Err(_) => {
+                println!("no saved model found; training a small one (this takes ~1 min)...");
+                let learner = Learner::new(DatasetSpec::quick(256));
+                let model = learner.train_with(
+                    &learner.generate_dataset(21),
+                    OptimizerChoice::AdamLogistic,
+                    200,
+                    2,
+                );
+                println!(
+                    "model test accuracy: {:.1}%",
+                    model.history.final_accuracy() * 100.0
+                );
+                model.allocator()
+            }
+        };
 
     let keeper = Keeper::new(KeeperConfig::default(), allocator);
     let trace = drifting_trace(60_000);
@@ -105,7 +111,9 @@ fn main() {
         trace.last().unwrap().arrival_ns as f64 / 1e6
     );
 
-    let shared = keeper.run_static(&trace, Strategy::Shared, &lpn_spaces).unwrap();
+    let shared = keeper
+        .run_static(&trace, Strategy::Shared, &lpn_spaces)
+        .unwrap();
     let single = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
     let periodic = keeper.run_adaptive_periodic(&trace, &lpn_spaces).unwrap();
 
@@ -122,7 +130,12 @@ fn main() {
             periodic.report.total_latency_metric_us(),
         ),
     ] {
-        println!("{:<26} {:>12.1} {:>+9.1}%", name, metric, (1.0 - metric / base) * 100.0);
+        println!(
+            "{:<26} {:>12.1} {:>+9.1}%",
+            name,
+            metric,
+            (1.0 - metric / base) * 100.0
+        );
     }
 
     println!("\nperiodic decisions:");

@@ -22,8 +22,11 @@ fn main() {
     let w = generate_tenant_stream(&writer, 0, 8_000, 1);
     let r = generate_tenant_stream(&reader, 1, 14_000, 2);
     let trace = mix_chronological(&[w, r], 20_000);
-    println!("mixed trace: {} requests over {:.1} ms of arrivals", trace.len(),
-        trace.last().unwrap().arrival_ns as f64 / 1e6);
+    println!(
+        "mixed trace: {} requests over {:.1} ms of arrivals",
+        trace.len(),
+        trace.last().unwrap().arrival_ns as f64 / 1e6
+    );
 
     let eval = EvalConfig {
         ssd: SsdConfig::scaled_for_sweeps(),

@@ -23,7 +23,11 @@ fn main() {
     let dataset = learner.generate_dataset(7);
     let hist = dataset.label_histogram();
     let classes_used = hist.iter().filter(|&&n| n > 0).count();
-    println!("dataset ready: {} samples across {} strategy classes", dataset.samples.len(), classes_used);
+    println!(
+        "dataset ready: {} samples across {} strategy classes",
+        dataset.samples.len(),
+        classes_used
+    );
 
     println!("training Adam-logistic (the paper's best configuration)...");
     let model = learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 120, 1);

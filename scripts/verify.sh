@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Pre-PR verification gate: the whole workspace must build, test, and
+# (when rustfmt is installed) be formatted — all fully offline. This is
+# the same sequence CI runs; if it passes here it passes there.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+echo "verify: OK"

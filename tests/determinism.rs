@@ -55,7 +55,10 @@ fn simulation_reports_are_identical_across_runs() {
     let trace = mix_chronological(&streams, 6_000);
     let run = || {
         let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(1 << 10);
-        Simulator::new(cfg.clone(), layout).unwrap().run(&trace).unwrap()
+        Simulator::new(cfg.clone(), layout)
+            .unwrap()
+            .run(&trace)
+            .unwrap()
     };
     assert_eq!(run(), run());
 }
@@ -88,12 +91,15 @@ fn persisted_traces_replay_identically() {
     let t = TenantSpec::synthetic("t", 0.3, 15_000.0, 1 << 10);
     let trace = generate_tenant_stream(&t, 0, 2_000, 3);
 
-    let decoded = decode_trace(encode_trace(&trace)).unwrap();
+    let decoded = decode_trace(&encode_trace(&trace)).unwrap();
     assert_eq!(decoded, trace);
 
     let run = |tr: &[ssdkeeper_repro::flash_sim::IoRequest]| {
         let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(1 << 10);
-        Simulator::new(cfg.clone(), layout).unwrap().run(tr).unwrap()
+        Simulator::new(cfg.clone(), layout)
+            .unwrap()
+            .run(tr)
+            .unwrap()
     };
     assert_eq!(run(&trace), run(&decoded));
 }

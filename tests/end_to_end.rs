@@ -86,7 +86,8 @@ fn model_round_trips_through_text_format_with_identical_predictions() {
         model.network.clone(),
         model.max_total_iops,
     );
-    let restored = ssdkeeper_repro::ssdkeeper::ChannelAllocator::new(reloaded, model.max_total_iops);
+    let restored =
+        ssdkeeper_repro::ssdkeeper::ChannelAllocator::new(reloaded, model.max_total_iops);
     for s in &dataset.samples {
         assert_eq!(original.predict(&s.features), restored.predict(&s.features));
     }

@@ -20,12 +20,8 @@ fn stationary_mix(total_iops: f64, n: usize) -> Vec<ssdkeeper_repro::flash_sim::
         .zip(ratios.iter())
         .enumerate()
         .map(|(t, (&share, &wr))| {
-            let spec = TenantSpec::synthetic(
-                format!("t{t}"),
-                wr,
-                (total_iops * share).max(1.0),
-                1 << 12,
-            );
+            let spec =
+                TenantSpec::synthetic(format!("t{t}"), wr, (total_iops * share).max(1.0), 1 << 12);
             generate_tenant_stream(&spec, t as u16, (n as f64 * share * 1.5) as usize, t as u64)
         })
         .collect();
@@ -53,7 +49,10 @@ fn window_and_trace_features_agree_for_stationary_workloads() {
             offline.intensity_level,
             online.intensity_level
         );
-        assert_eq!(offline.rw_char, online.rw_char, "characteristics must match");
+        assert_eq!(
+            offline.rw_char, online.rw_char,
+            "characteristics must match"
+        );
         for t in 0..TENANTS {
             assert!(
                 (offline.shares[t] - online.shares[t]).abs() < 0.05,
@@ -82,5 +81,8 @@ fn intensity_levels_span_the_scale() {
         );
         last_level = fv.intensity_level;
     }
-    assert!(last_level >= 17, "top of the sweep should reach level >=17, got {last_level}");
+    assert!(
+        last_level >= 17,
+        "top of the sweep should reach level >=17, got {last_level}"
+    );
 }

@@ -2,7 +2,7 @@
 //! page requests → profile → simulator → keeper. Uses an in-memory CSV
 //! standing in for a downloaded MSR-Cambridge file.
 
-use ssdkeeper_repro::flash_sim::{SsdConfig, Simulator, TenantLayout};
+use ssdkeeper_repro::flash_sim::{Simulator, SsdConfig, TenantLayout};
 use ssdkeeper_repro::workloads::{
     mix_chronological, parse_msr_csv, profile, to_page_requests, ReplayConfig,
 };
@@ -38,8 +38,16 @@ fn csv_replay_profiles_and_simulates() {
     assert_eq!(records.len(), 500);
 
     // Split per host into tenants.
-    let readers: Vec<_> = records.iter().filter(|r| r.host == "web").cloned().collect();
-    let writers: Vec<_> = records.iter().filter(|r| r.host == "prxy").cloned().collect();
+    let readers: Vec<_> = records
+        .iter()
+        .filter(|r| r.host == "web")
+        .cloned()
+        .collect();
+    let writers: Vec<_> = records
+        .iter()
+        .filter(|r| r.host == "prxy")
+        .cloned()
+        .collect();
     let mut cfg0 = ReplayConfig::new(0);
     cfg0.lpn_space = 1 << 10;
     let mut cfg1 = ReplayConfig::new(1);
@@ -50,7 +58,11 @@ fn csv_replay_profiles_and_simulates() {
     // Profiles reflect the constructed characteristics.
     let p0 = profile(&t0, None).unwrap();
     assert_eq!(p0.write_ratio, 0.0);
-    assert!(p0.sequentiality > 0.5, "sequential reads: {}", p0.sequentiality);
+    assert!(
+        p0.sequentiality > 0.5,
+        "sequential reads: {}",
+        p0.sequentiality
+    );
     assert!((p0.mean_size_pages - 2.0).abs() < 1e-9, "32 KB = 2 pages");
     let p1 = profile(&t1, None).unwrap();
     assert_eq!(p1.write_ratio, 1.0);

@@ -153,8 +153,22 @@ fn reads_follow_data_after_reallocation() {
         .collect();
     // After the switch: read the old data and write new data concurrently.
     for i in 0..64u64 {
-        trace.push(IoRequest::new(100 + i, 0, Op::Read, i, 1, 2_000_000 + i * 1_000));
-        trace.push(IoRequest::new(200 + i, 0, Op::Write, 128 + i, 1, 2_000_000 + i * 1_000));
+        trace.push(IoRequest::new(
+            100 + i,
+            0,
+            Op::Read,
+            i,
+            1,
+            2_000_000 + i * 1_000,
+        ));
+        trace.push(IoRequest::new(
+            200 + i,
+            0,
+            Op::Write,
+            128 + i,
+            1,
+            2_000_000 + i * 1_000,
+        ));
     }
     trace.sort_by_key(|r| r.arrival_ns);
     for (i, r) in trace.iter_mut().enumerate() {
