@@ -120,24 +120,61 @@ impl Matrix {
 
     /// `self × other` — shapes `[m,k] × [k,n] → [m,n]`.
     ///
+    /// Packs `other` transposed once so the reduction walks both operands
+    /// with unit stride, then computes four output columns per pass with
+    /// independent accumulators. Every output element still accumulates
+    /// its terms in ascending-`k` order with the `a == 0.0` skip (common
+    /// after ReLU), so results are bit-identical to the naive i-k-j loop.
+    ///
     /// # Panics
     ///
     /// Panics on a shape mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut bt = vec![0.0f32; n * k];
+        for kk in 0..k {
+            let b_row = other.row(kk);
+            for (j, &b) in b_row.iter().enumerate() {
+                bt[j * k + kk] = b;
+            }
+        }
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for (kk, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue; // common after ReLU
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &bt[j * k..(j + 1) * k];
+                let b1 = &bt[(j + 1) * k..(j + 2) * k];
+                let b2 = &bt[(j + 2) * k..(j + 3) * k];
+                let b3 = &bt[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    s0 += a * b0[kk];
+                    s1 += a * b1[kk];
+                    s2 += a * b2[kk];
+                    s3 += a * b3[kk];
                 }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().skip(j) {
+                let bj = &bt[j * k..(j + 1) * k];
+                let mut s = 0.0f32;
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    s += a * bj[kk];
                 }
+                *o = s;
             }
         }
         out
@@ -328,6 +365,49 @@ mod tests {
             let b = random_matrix(5, 3, &mut rng);
             let bt = Matrix::from_fn(3, 5, |i, j| b.get(j, i));
             assert!(approx(&a.matmul_t(&b), &a.matmul(&bt), 1e-4));
+        }
+    }
+
+    /// The tiled kernel must be **bit-identical** to the naive i-k-j loop
+    /// it replaced — training determinism depends on it. Random shapes
+    /// (including remainder columns) with ReLU-style zero sparsity.
+    #[test]
+    fn matmul_is_bit_identical_to_naive_reference() {
+        fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+            let (m, k, n) = (a.rows(), a.cols(), b.cols());
+            let mut out = Matrix::zeros(m, n);
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a.get(i, kk);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out.set(i, j, out.get(i, j) + av * b.get(kk, j));
+                    }
+                }
+            }
+            out
+        }
+        let mut rng = SimRng::seed_from_u64(304);
+        for _ in 0..64 {
+            let m = rng.gen_range(1usize..7);
+            let k = rng.gen_range(1usize..9);
+            let n = rng.gen_range(1usize..11); // exercises the %4 remainder
+            let sparse = |rng: &mut SimRng| {
+                if rng.gen_range(0u32..3) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-3.0f32..3.0)
+                }
+            };
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|_| sparse(&mut rng)).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|_| sparse(&mut rng)).collect());
+            let fast = a.matmul(&b);
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul drifted from reference");
+            }
         }
     }
 

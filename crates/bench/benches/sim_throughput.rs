@@ -1,0 +1,161 @@
+//! Simulator throughput in events per second.
+//!
+//! The `sim_micro` workload is the repo's tracked perf gate: a
+//! preconditioned device in GC steady state — the regime every real SSD
+//! spends its life in — driven by hot overwrites so the garbage collector
+//! runs continuously while reads keep the full command pipeline busy.
+//! Device construction and preconditioning happen outside the timed
+//! region; the measurement covers exactly `Simulator::run`, i.e. the
+//! discrete-event hot path the ROADMAP says must run "as fast as the
+//! hardware allows".
+//!
+//! Events/sec uses `SimReport::events_processed` (deterministic for a
+//! given trace) over the **median** wall time of the measured iterations,
+//! so the metric is robust to scheduling noise.
+//!
+//! When `SSDKEEPER_BENCH_JSON` names a file, the result is written there
+//! in the `BENCH_sim.json` format: the first ever run records itself as
+//! the baseline; later runs keep the stored baseline and report the
+//! speedup against it, growing the repo's perf trajectory.
+
+use bench::harness::black_box;
+use flash_sim::{IoRequest, Op, Simulator, SsdConfig, TenantLayout};
+use std::time::{Duration, Instant};
+
+/// Requests in the sim_micro trace.
+const REQUESTS: u64 = 24_000;
+/// Logical pages preconditioned onto the device (fills it close to the
+/// GC trigger so collection is active from the first measured write).
+const LPN_SPACE: u64 = 54_400;
+/// Hot region repeatedly overwritten/re-read during the measured run.
+const HOT_LPNS: u64 = 4_096;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Table I timings on a tall plane: few planes, many blocks each, so the
+/// per-plane GC work (victim selection, wear bookkeeping) dominates the
+/// way it does at production block counts (Table I: 4096 blocks/plane).
+fn sim_micro_cfg() -> SsdConfig {
+    SsdConfig {
+        channels: 4,
+        chips_per_channel: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 2_048,
+        pages_per_block: 16,
+        gc_free_block_threshold: 0.6,
+        wear_leveling_threshold: 64,
+        ..SsdConfig::paper_table1()
+    }
+}
+
+/// 3:1 write:read mix over a hot region, page-sized requests, 2 µs apart.
+fn sim_micro_trace() -> Vec<IoRequest> {
+    (0..REQUESTS)
+        .map(|i| {
+            let op = if i % 4 == 3 { Op::Read } else { Op::Write };
+            let lpn = (i * 131) % HOT_LPNS;
+            IoRequest::new(i, 0, op, lpn, 1, i * 2_000)
+        })
+        .collect()
+}
+
+struct RunSample {
+    events: u64,
+    elapsed: Duration,
+    events_per_sec: f64,
+}
+
+fn run_once(trace: &[IoRequest]) -> RunSample {
+    let cfg = sim_micro_cfg();
+    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(LPN_SPACE);
+    let mut sim = Simulator::new(cfg, layout).expect("sim_micro config is valid");
+    sim.precondition(&[1.0]).expect("precondition fits");
+    let start = Instant::now();
+    let report = sim.run(trace).expect("sim_micro trace runs clean");
+    let elapsed = start.elapsed();
+    black_box(&report);
+    RunSample {
+        events: report.events_processed,
+        elapsed,
+        events_per_sec: report.events_per_sec(elapsed),
+    }
+}
+
+fn median(sorted: &[RunSample]) -> &RunSample {
+    &sorted[(sorted.len() - 1) / 2]
+}
+
+fn main() {
+    let iters = env_usize("SSDKEEPER_BENCH_ITERS", 10).max(1);
+    let warmup = env_usize("SSDKEEPER_BENCH_WARMUP", 2);
+    let trace = sim_micro_trace();
+
+    for _ in 0..warmup {
+        black_box(run_once(&trace));
+    }
+    let mut samples: Vec<RunSample> = (0..iters).map(|_| run_once(&trace)).collect();
+    samples.sort_unstable_by_key(|s| s.elapsed);
+    let med = median(&samples);
+    let events = med.events;
+    let events_per_sec = med.events_per_sec;
+
+    println!(
+        "sim_throughput/sim_micro  iters={iters} events={events} \
+         min={:?} median={:?} max={:?}  {:.0} events/s",
+        samples[0].elapsed,
+        med.elapsed,
+        samples[samples.len() - 1].elapsed,
+        events_per_sec,
+    );
+
+    if let Ok(path) = std::env::var("SSDKEEPER_BENCH_JSON") {
+        write_json(&path, events, med.elapsed.as_nanos() as u64, events_per_sec);
+    }
+}
+
+/// Reads `"key": <number>` out of `section`'s object in our own JSON.
+fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\""))?;
+    let rest = &text[sec..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let after = &rest[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64) {
+    // Keep the recorded baseline when the file already has one so the
+    // speedup is always measured against the first committed run.
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let (base_events, base_median, base_eps) = match (
+        json_number(&existing, "baseline", "events"),
+        json_number(&existing, "baseline", "median_ns"),
+        json_number(&existing, "baseline", "events_per_sec"),
+    ) {
+        (Some(e), Some(m), Some(eps)) => (e as u64, m as u64, eps),
+        _ => (events, median_ns, events_per_sec),
+    };
+    let speedup = events_per_sec / base_eps;
+    let body = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"sim_micro\",\n  \
+         \"requests\": {REQUESTS},\n  \"hot_lpns\": {HOT_LPNS},\n  \
+         \"geometry\": \"4ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages\",\n  \
+         \"baseline\": {{ \"events\": {base_events}, \"median_ns\": {base_median}, \
+         \"events_per_sec\": {base_eps:.1} }},\n  \
+         \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
+         \"events_per_sec\": {events_per_sec:.1} }},\n  \
+         \"speedup_vs_baseline\": {speedup:.3}\n}}\n"
+    );
+    std::fs::write(path, body).expect("write BENCH json");
+    println!("sim_throughput: wrote {path} (speedup vs baseline: {speedup:.3}x)");
+}

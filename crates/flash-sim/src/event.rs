@@ -71,6 +71,12 @@ impl EventQueue {
         }
     }
 
+    /// Reserves capacity for at least `additional` more events, so bulk
+    /// scheduling (e.g. a whole trace's arrivals) does not regrow the heap.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `kind` to fire at `time`.
     pub fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.next_seq;

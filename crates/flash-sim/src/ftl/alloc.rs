@@ -71,27 +71,34 @@ pub fn dynamic_plane(
     plane_backlog: &[u32],
     plane_free: impl Fn(usize) -> u64,
 ) -> usize {
-    // (backlog, most-free-first, channel-first rank) -> plane
-    type Key = (u32, std::cmp::Reverse<u64>, usize);
     let planes_per_channel = geo.dies_per_channel() * geo.planes_per_die();
-    let mut best: Option<(Key, usize)> = None;
-    for rank in 0..planes_per_channel {
-        let die_in_channel = rank / geo.planes_per_die();
-        let plane_in_die = rank % geo.planes_per_die();
-        for &ch in tenant.channels.channels() {
-            let die = geo.die_index_of(ch as usize, die_in_channel);
-            let plane = geo.plane_index_of(die, plane_in_die);
-            let key = (
+    (0..planes_per_channel)
+        .flat_map(|rank| {
+            tenant
+                .channels
+                .channels()
+                .iter()
+                .enumerate()
+                .map(move |(ch_pos, &ch)| {
+                    let die = geo.die_index_of(ch as usize, rank / geo.planes_per_die());
+                    let plane = geo.plane_index_of(die, rank % geo.planes_per_die());
+                    (rank, ch_pos, plane)
+                })
+        })
+        // `(rank, ch_pos)` makes every key unique, so `min_by_key`'s
+        // last-min-wins tie rule cannot differ from the first-wins scan
+        // this replaces: backlog first, then most free pages, then
+        // channel-first rank order.
+        .min_by_key(|&(rank, ch_pos, plane)| {
+            (
                 plane_backlog[plane],
                 std::cmp::Reverse(plane_free(plane)),
                 rank,
-            );
-            if best.is_none_or(|(b, _)| key < b) {
-                best = Some((key, plane));
-            }
-        }
-    }
-    best.expect("channel sets are non-empty by construction").1
+                ch_pos,
+            )
+        })
+        .map(|(_, _, plane)| plane)
+        .expect("channel sets are non-empty by construction")
 }
 
 #[cfg(test)]

@@ -38,17 +38,25 @@ pub struct GcCharge {
 pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
     let pages_per_block = ftl.pages_per_block_internal();
     let victim = pick_wear_victim(ftl, plane, pages_per_block)
-        .or_else(|| pick_victim(ftl, plane, pages_per_block))?;
+        .or_else(|| ftl.plane_ref(plane).greedy_victim())?;
+    // The victim leaves the index now: the bulk invalidation below
+    // bypasses `Ftl::invalidate`, and the erase takes it out of the
+    // full-block population anyway.
+    ftl.plane_mut(plane).index_remove(victim);
 
-    // Collect the victim's live pages before mutating anything.
-    let live: Vec<(u16, u64)> = ftl.plane_ref(plane).blocks[victim]
-        .pages
-        .iter()
-        .filter_map(|p| match *p {
-            PageState::Valid { tenant, lpn } => Some((tenant, lpn)),
-            _ => None,
-        })
-        .collect();
+    // Collect the victim's live pages before mutating anything, into the
+    // FTL's reusable scratch buffer (no per-pass allocation).
+    let mut live = ftl.take_gc_scratch();
+    live.clear();
+    live.extend(
+        ftl.plane_ref(plane).blocks[victim]
+            .pages
+            .iter()
+            .filter_map(|p| match *p {
+                PageState::Valid { tenant, lpn } => Some((tenant, lpn)),
+                _ => None,
+            }),
+    );
 
     // Invalidate the whole victim in place so append_for_gc never lands on
     // it (it is full, so it cannot be the active block).
@@ -63,7 +71,8 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
 
     // Migrate live pages into the active block(s) of the same plane.
     let mut moved = 0u32;
-    for (tenant, lpn) in live {
+    let mut victim_erased = false;
+    for &(tenant, lpn) in &live {
         match ftl.append_for_gc(plane, tenant, lpn) {
             Ok(addr) => {
                 let packed = ftl.geometry_internal().pack_page(&addr);
@@ -75,6 +84,7 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
                 // This can only happen when the spare pool was already empty;
                 // erase now and continue into the reclaimed block.
                 erase_block(ftl, plane, victim);
+                victim_erased = true;
                 let addr = ftl
                     .append_for_gc(plane, tenant, lpn)
                     .expect("erased victim provides space for its own live pages");
@@ -85,11 +95,10 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
             Err(e) => unreachable!("GC migration hit unexpected FTL error: {e}"),
         }
     }
+    ftl.put_gc_scratch(live);
 
     // Erase the victim if the fallback path has not already done so.
-    if !ftl.plane_ref(plane).free_blocks.contains(&victim)
-        && ftl.plane_ref(plane).active_block != Some(victim)
-    {
+    if !victim_erased {
         erase_block(ftl, plane, victim);
     }
 
@@ -111,46 +120,19 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
 /// threshold, returns the coldest (least-erased) full block so its data
 /// is migrated and the block rejoins the write rotation. Returns `None`
 /// when disabled (threshold 0) or the spread is within bounds.
-fn pick_wear_victim(ftl: &Ftl, plane: usize, pages_per_block: usize) -> Option<usize> {
+fn pick_wear_victim(ftl: &Ftl, plane: usize, _pages_per_block: usize) -> Option<usize> {
     let threshold = ftl.wear_threshold_internal();
     if threshold == 0 {
         return None;
     }
     let state = ftl.plane_ref(plane);
-    let min = state.blocks.iter().map(|b| b.erase_count).min()?;
-    let max = state.blocks.iter().map(|b| b.erase_count).max()?;
-    if max - min <= threshold {
+    // O(1) spread check via the plane's erase histogram.
+    if state.erase_spread() <= threshold {
         return None;
     }
-    // Coldest full block, ties toward more invalid pages (cheaper moves).
-    state
-        .blocks
-        .iter()
-        .enumerate()
-        .filter(|(idx, b)| Some(*idx) != state.active_block && b.is_full(pages_per_block))
-        .min_by_key(|(idx, b)| (b.erase_count, b.valid_count, *idx))
-        .map(|(idx, _)| idx)
-}
-
-/// Chooses the full, non-active block with the fewest valid pages; ties go
-/// to the lower erase count, then the lower index. Blocks with no invalid
-/// pages are not worth collecting.
-fn pick_victim(ftl: &Ftl, plane: usize, pages_per_block: usize) -> Option<usize> {
-    let state = ftl.plane_ref(plane);
-    let mut best: Option<(u32, u32, usize)> = None; // (valid, erase, idx)
-    for (idx, block) in state.blocks.iter().enumerate() {
-        if Some(idx) == state.active_block || !block.is_full(pages_per_block) {
-            continue;
-        }
-        if block.valid_count as usize >= pages_per_block {
-            continue; // nothing reclaimable
-        }
-        let key = (block.valid_count, block.erase_count, idx);
-        if best.is_none_or(|b| key < b) {
-            best = Some(key);
-        }
-    }
-    best.map(|(_, _, idx)| idx)
+    // Coldest full block, ties toward more invalid pages (cheaper moves):
+    // min (erase, valid, idx) straight out of the victim index.
+    state.wear_victim()
 }
 
 /// Erases `block` in `plane`: all pages become free, the spare pool grows.
@@ -163,9 +145,11 @@ fn erase_block(ftl: &mut Ftl, plane: usize, block: usize) {
         *p = PageState::Free;
     }
     b.next_page = 0;
+    let old_erase = b.erase_count;
     b.erase_count += 1;
     state.free_pages += pages_per_block;
     state.free_blocks.push(block);
+    state.note_erase(old_erase);
 }
 
 #[cfg(test)]

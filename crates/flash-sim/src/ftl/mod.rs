@@ -81,6 +81,19 @@ pub struct PlaneState {
     pub free_blocks: Vec<usize>,
     /// Count of `Free` pages across the plane (fast full-check).
     pub free_pages: u64,
+    /// GC victim index: bucket `v` holds every **full, non-active** block
+    /// with `valid_count == v` as `(erase_count, block_idx)`, so the
+    /// greedy victim — min by `(valid, erase, idx)` — is the first entry
+    /// of the first non-empty bucket instead of an O(blocks) scan.
+    /// Maintained incrementally on invalidation, rotation, and erase.
+    full_blocks: Vec<std::collections::BTreeSet<(u32, u32)>>,
+    /// `erase_hist[c]` = blocks with `erase_count == c`; with the min/max
+    /// cursors below it answers the wear-leveling spread check in O(1).
+    erase_hist: Vec<u32>,
+    /// Smallest erase count present in the plane.
+    min_erase: u32,
+    /// Largest erase count present in the plane.
+    max_erase: u32,
 }
 
 impl PlaneState {
@@ -92,7 +105,71 @@ impl PlaneState {
             active_block: None,
             free_blocks: (0..cfg.blocks_per_plane).rev().collect(),
             free_pages: (cfg.blocks_per_plane * cfg.pages_per_block) as u64,
+            full_blocks: vec![std::collections::BTreeSet::new(); cfg.pages_per_block + 1],
+            erase_hist: vec![cfg.blocks_per_plane as u32],
+            min_erase: 0,
+            max_erase: 0,
         }
+    }
+
+    /// Adds `block` (full, non-active) to the bucket of its current valid
+    /// count. Idempotent.
+    pub(crate) fn index_insert(&mut self, block: usize) {
+        let b = &self.blocks[block];
+        self.full_blocks[b.valid_count as usize].insert((b.erase_count, block as u32));
+    }
+
+    /// Removes `block` from the bucket of its current valid count.
+    pub(crate) fn index_remove(&mut self, block: usize) {
+        let b = &self.blocks[block];
+        self.full_blocks[b.valid_count as usize].remove(&(b.erase_count, block as u32));
+    }
+
+    /// Greedy victim: the full, non-active block minimizing
+    /// `(valid_count, erase_count, idx)`, excluding fully-valid blocks
+    /// (nothing reclaimable). Exactly the order of the old linear scan.
+    pub(crate) fn greedy_victim(&self) -> Option<usize> {
+        let fully_valid = self.full_blocks.len() - 1;
+        self.full_blocks[..fully_valid]
+            .iter()
+            .find_map(|bucket| bucket.first().map(|&(_, idx)| idx as usize))
+    }
+
+    /// Wear victim: the full, non-active block minimizing
+    /// `(erase_count, valid_count, idx)` — fully-valid blocks included,
+    /// since cold data is exactly what static wear leveling must move.
+    /// Each bucket's first entry is its min by `(erase, idx)`, so one
+    /// candidate per bucket finds the global min in O(pages_per_block).
+    pub(crate) fn wear_victim(&self) -> Option<usize> {
+        self.full_blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(valid, bucket)| {
+                bucket
+                    .first()
+                    .map(|&(erase, idx)| (erase, valid as u32, idx))
+            })
+            .min()
+            .map(|(_, _, idx)| idx as usize)
+    }
+
+    /// Records that a block went from `old_count` to `old_count + 1`
+    /// erases, keeping the histogram and min/max cursors exact.
+    pub(crate) fn note_erase(&mut self, old_count: u32) {
+        self.erase_hist[old_count as usize] -= 1;
+        if old_count as usize + 1 == self.erase_hist.len() {
+            self.erase_hist.push(0);
+        }
+        self.erase_hist[old_count as usize + 1] += 1;
+        self.max_erase = self.max_erase.max(old_count + 1);
+        while self.erase_hist[self.min_erase as usize] == 0 {
+            self.min_erase += 1;
+        }
+    }
+
+    /// `max - min` erase count over all blocks, in O(1).
+    pub(crate) fn erase_spread(&self) -> u32 {
+        self.max_erase - self.min_erase
     }
 }
 
@@ -169,6 +246,9 @@ pub struct Ftl {
     planes: Vec<PlaneState>,
     maps: Vec<TenantMap>,
     stats: FtlStats,
+    /// Reusable buffer for a GC pass's live `(tenant, lpn)` pages, so the
+    /// steady-state hot path allocates nothing per collection.
+    gc_scratch: Vec<(u16, u64)>,
 }
 
 impl Ftl {
@@ -194,6 +274,7 @@ impl Ftl {
             write_ns: cfg.write_latency_ns,
             erase_ns: cfg.erase_latency_ns,
             stats: FtlStats::default(),
+            gc_scratch: Vec::new(),
         }
     }
 
@@ -284,16 +365,27 @@ impl Ftl {
         Ok(WriteOutcome { addr, gc })
     }
 
-    /// Marks the page at `addr` invalid.
+    /// Marks the page at `addr` invalid, relocating the block between
+    /// victim-index buckets when it is indexed (full and non-active).
     fn invalidate(&mut self, addr: &PhysAddr) {
         let plane = self.geo.plane_index(addr);
-        let block = &mut self.planes[plane].blocks[addr.block as usize];
+        let pages_per_block = self.pages_per_block;
+        let state = &mut self.planes[plane];
+        let bi = addr.block as usize;
+        let indexed = state.blocks[bi].is_full(pages_per_block) && state.active_block != Some(bi);
+        if indexed {
+            state.index_remove(bi);
+        }
+        let block = &mut state.blocks[bi];
         debug_assert!(matches!(
             block.pages[addr.page as usize],
             PageState::Valid { .. }
         ));
         block.pages[addr.page as usize] = PageState::Invalid;
         block.valid_count -= 1;
+        if indexed {
+            state.index_insert(bi);
+        }
     }
 
     /// Appends a page to the plane's active block, rotating in a fresh block
@@ -313,7 +405,16 @@ impl Ftl {
         };
         if need_new_block {
             match state.free_blocks.pop() {
-                Some(b) => state.active_block = Some(b),
+                Some(b) => {
+                    // The outgoing active block (full, by `need_new_block`)
+                    // leaves rotation and becomes victim material. Insert
+                    // only on success: on the PlaneFull path it stays the
+                    // active block.
+                    if let Some(old) = state.active_block {
+                        state.index_insert(old);
+                    }
+                    state.active_block = Some(b);
+                }
                 None => return Err(FtlError::PlaneFull { plane }),
             }
         }
@@ -382,6 +483,16 @@ impl Ftl {
         &mut self.stats
     }
 
+    /// Hands the GC live-page buffer to a pass (contents stale; clear it).
+    pub(crate) fn take_gc_scratch(&mut self) -> Vec<(u16, u64)> {
+        std::mem::take(&mut self.gc_scratch)
+    }
+
+    /// Returns the buffer after a pass so its capacity is reused.
+    pub(crate) fn put_gc_scratch(&mut self, scratch: Vec<(u16, u64)>) {
+        self.gc_scratch = scratch;
+    }
+
     pub(crate) fn append_for_gc(
         &mut self,
         plane: usize,
@@ -422,6 +533,24 @@ impl Ftl {
                 free_pages, plane.free_pages,
                 "plane {pi} free_pages mismatch"
             );
+            // The victim index must hold exactly the full, non-active
+            // blocks, bucketed by valid count, keyed (erase, idx).
+            let mut expect = vec![std::collections::BTreeSet::new(); self.pages_per_block + 1];
+            for (bi, b) in plane.blocks.iter().enumerate() {
+                if b.is_full(self.pages_per_block) && plane.active_block != Some(bi) {
+                    expect[b.valid_count as usize].insert((b.erase_count, bi as u32));
+                }
+            }
+            assert_eq!(expect, plane.full_blocks, "plane {pi} victim index stale");
+            // The erase histogram and its cursors must match the blocks.
+            let mut hist = vec![0u32; plane.erase_hist.len()];
+            for b in &plane.blocks {
+                hist[b.erase_count as usize] += 1;
+            }
+            assert_eq!(hist, plane.erase_hist, "plane {pi} erase histogram stale");
+            let min = plane.blocks.iter().map(|b| b.erase_count).min().unwrap();
+            let max = plane.blocks.iter().map(|b| b.erase_count).max().unwrap();
+            assert_eq!((min, max), (plane.min_erase, plane.max_erase));
         }
         // Mapping must point at Valid pages tagged with the same (tenant, lpn).
         for (t, map) in self.maps.iter().enumerate() {

@@ -8,7 +8,7 @@
 use super::Ftl;
 
 /// Summary of the erase-count distribution over all blocks.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WearSummary {
     /// Total block erases performed.
     pub total_erases: u64,

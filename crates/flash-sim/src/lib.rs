@@ -56,6 +56,6 @@ pub use config::SsdConfig;
 pub use ftl::alloc::PageAllocPolicy;
 pub use geometry::{Geometry, PhysAddr};
 pub use request::{IoRequest, Op};
-pub use sim::{SimError, Simulator};
+pub use sim::{Reallocation, SimError, Simulator};
 pub use stats::{LatencyStats, SimReport, TenantReport};
 pub use tenant::{ChannelSet, TenantLayout};

@@ -131,6 +131,20 @@ pub enum SimError {
         /// Explanation.
         reason: String,
     },
+    /// The command arena ran out of `CmdId`s: more commands were in
+    /// flight at once than the id space can name. With slot recycling
+    /// this only happens at a forced (test) limit or a truly absurd
+    /// in-flight depth — it is a checked error, never a silent wrap.
+    CmdIdsExhausted {
+        /// The arena's slot limit when it overflowed.
+        limit: u32,
+    },
+    /// The trace holds more requests than the `ReqId` space can name
+    /// (the top id is reserved as the internal GC sentinel).
+    ReqIdsExhausted {
+        /// Largest admissible request count.
+        max_requests: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -154,6 +168,12 @@ impl std::fmt::Display for SimError {
                 "plane {plane} would hold {required} logical pages but only {available} fit"
             ),
             SimError::BadReallocation { reason } => write!(f, "bad reallocation: {reason}"),
+            SimError::CmdIdsExhausted { limit } => {
+                write!(f, "command arena exhausted: {limit} slots all in flight")
+            }
+            SimError::ReqIdsExhausted { max_requests } => {
+                write!(f, "trace too long: at most {max_requests} requests per run")
+            }
         }
     }
 }
@@ -187,6 +207,14 @@ pub struct Simulator {
     buses: Vec<BusSched>,
     events: EventQueue,
     cmds: Vec<Cmd>,
+    /// Arena slots of retired commands, reused by `spawn_cmd` so `cmds`
+    /// plateaus at the peak in-flight depth instead of growing with the
+    /// trace. Recycling ids is safe because every scheduler queue orders
+    /// by its own insertion sequence, never by `CmdId` value.
+    free_cmd_slots: Vec<CmdId>,
+    /// Upper bound on arena slots (defaults to the full id space; tests
+    /// shrink it to force exhaustion).
+    cmd_slot_limit: CmdId,
     reqs: Vec<ReqState>,
     realloc: Vec<Reallocation>,
     next_realloc: usize,
@@ -232,6 +260,8 @@ impl Simulator {
             buses: vec![BusSched::default(); geo.channels()],
             events: EventQueue::new(),
             cmds: Vec::new(),
+            free_cmd_slots: Vec::new(),
+            cmd_slot_limit: CmdId::MAX,
             reqs: Vec::new(),
             realloc: Vec::new(),
             next_realloc: 0,
@@ -245,7 +275,9 @@ impl Simulator {
             backlog_scratch: vec![0; geo.total_planes()],
             bus_busy_ns: vec![0; geo.channels()],
             in_flight: vec![0; layout.tenant_count()],
-            host_queues: vec![std::collections::VecDeque::new(); layout.tenant_count()],
+            host_queues: (0..layout.tenant_count())
+                .map(|_| std::collections::VecDeque::with_capacity(cfg.host_queue_depth as usize))
+                .collect(),
             read_breakdown: LatencyBreakdown::default(),
             write_breakdown: LatencyBreakdown::default(),
             gc_busy_ns: 0,
@@ -314,7 +346,15 @@ impl Simulator {
     /// Requirements on the trace: sorted by `arrival_ns`, tenant ids within
     /// the layout, and `size_pages >= 1` everywhere.
     pub fn run(mut self, trace: &[IoRequest]) -> Result<SimReport, SimError> {
+        // The top ReqId is the internal GC sentinel; request ids must stay
+        // strictly below it.
+        if trace.len() > NO_REQ as usize {
+            return Err(SimError::ReqIdsExhausted {
+                max_requests: NO_REQ as u64,
+            });
+        }
         self.validate_trace(trace)?;
+        self.events.reserve(trace.len());
         self.reqs = trace
             .iter()
             .map(|r| ReqState {
@@ -435,7 +475,7 @@ impl Simulator {
                     let addr = self.ftl.translate_read(io.tenant, lpn, &self.layout)?;
                     let unit = self.unit_of_plane(self.geo.plane_index(&addr)) as u32;
                     let channel = addr.channel;
-                    self.spawn_cmd(req, CmdClass::Read, unit, channel, Phase::ArrayRead, 0, now);
+                    self.spawn_cmd(req, CmdClass::Read, unit, channel, Phase::ArrayRead, 0, now)?;
                 }
             }
             Op::Write => {
@@ -470,7 +510,7 @@ impl Simulator {
                         Phase::WaitBusWrite,
                         0,
                         now,
-                    );
+                    )?;
                     if let Some(gc) = outcome.gc {
                         let gc_unit = self.unit_of_plane(gc.plane) as u32;
                         let gc_channel = self.geo.channel_of_plane(gc.plane) as u16;
@@ -482,7 +522,7 @@ impl Simulator {
                             Phase::GcExec,
                             gc.duration_ns,
                             now,
-                        );
+                        )?;
                     }
                 }
             }
@@ -491,6 +531,10 @@ impl Simulator {
     }
 
     /// Creates a command and enqueues it on its execution unit.
+    ///
+    /// Slots of retired commands are recycled first; the arena only grows
+    /// when the in-flight depth exceeds every depth seen so far, and a
+    /// depth beyond `cmd_slot_limit` is a checked error.
     #[allow(clippy::too_many_arguments)]
     fn spawn_cmd(
         &mut self,
@@ -501,9 +545,8 @@ impl Simulator {
         initial_phase: Phase,
         gc_duration_ns: u64,
         now: u64,
-    ) {
-        let id = self.cmds.len() as CmdId;
-        self.cmds.push(Cmd {
+    ) -> Result<(), SimError> {
+        let cmd = Cmd {
             req,
             class,
             unit,
@@ -512,11 +555,41 @@ impl Simulator {
             gc_duration_ns,
             t_spawn: now,
             t_mark: now,
-        });
+        };
+        let id = match self.free_cmd_slots.pop() {
+            Some(slot) => {
+                self.cmds[slot as usize] = cmd;
+                slot
+            }
+            None => {
+                if self.cmds.len() >= self.cmd_slot_limit as usize {
+                    return Err(SimError::CmdIdsExhausted {
+                        limit: self.cmd_slot_limit,
+                    });
+                }
+                let id = self.cmds.len() as CmdId;
+                self.cmds.push(cmd);
+                id
+            }
+        };
         let d = &mut self.units[unit as usize];
         d.backlog += 1;
         d.queue.push(id, class);
         self.try_start_die(unit as usize, now);
+        Ok(())
+    }
+
+    /// Returns a finished command's arena slot to the free list. Must only
+    /// be called once per command, after its last use of `self.cmds[id]`.
+    fn retire_cmd(&mut self, cmd_id: CmdId) {
+        self.free_cmd_slots.push(cmd_id);
+    }
+
+    /// Caps the command arena at `limit` slots (test hook for exercising
+    /// [`SimError::CmdIdsExhausted`] without 2^32 live commands).
+    #[doc(hidden)]
+    pub fn limit_cmd_slots(&mut self, limit: u32) {
+        self.cmd_slot_limit = limit;
     }
 
     /// If the unit is idle, pops its next command and starts its first
@@ -618,12 +691,14 @@ impl Simulator {
                 self.complete_cmd(cmd_id, now);
                 let unit = self.cmds[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
+                self.retire_cmd(cmd_id);
             }
             Phase::GcExec => {
                 self.gc_busy_ns += self.cmds[cmd_id as usize].gc_duration_ns;
                 self.complete_cmd(cmd_id, now);
                 let unit = self.cmds[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
+                self.retire_cmd(cmd_id);
             }
             other => unreachable!("DieOpDone in phase {other:?}"),
         }
@@ -645,6 +720,7 @@ impl Simulator {
                 self.complete_cmd(cmd_id, now);
                 let unit = self.cmds[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
+                self.retire_cmd(cmd_id);
             }
             Phase::XferWrite => {
                 let cmd = &mut self.cmds[cmd_id as usize];
@@ -1348,6 +1424,34 @@ mod tests {
         let report = sim.run(&trace).unwrap();
         // Tenant 1's single read is admitted immediately on its own slot.
         assert_eq!(report.tenants[1].read.max_ns, 20 * US + 20_480);
+    }
+
+    #[test]
+    fn cmd_arena_exhaustion_is_a_typed_error() {
+        // One slot, one 2-page read: the fan-out needs two concurrent
+        // commands, so the second spawn must fail loudly rather than wrap.
+        let mut sim = one_tenant_sim();
+        sim.limit_cmd_slots(1);
+        let trace = vec![IoRequest::new(0, 0, Op::Read, 0, 2, 0)];
+        assert_eq!(
+            sim.run(&trace).unwrap_err(),
+            SimError::CmdIdsExhausted { limit: 1 }
+        );
+    }
+
+    #[test]
+    fn recycled_slots_keep_arena_at_peak_depth() {
+        // 50 writes spaced far beyond the service time: at most one
+        // command is ever in flight, so recycling keeps the whole run
+        // inside a 2-slot arena (one would also work, but GC on another
+        // config could overlap — 2 shows the plateau, not the trace len).
+        let mut sim = one_tenant_sim();
+        sim.limit_cmd_slots(2);
+        let trace: Vec<IoRequest> = (0..50)
+            .map(|i| IoRequest::new(i, 0, Op::Write, i % 64, 1, i * 1_000_000))
+            .collect();
+        let report = sim.run(&trace).unwrap();
+        assert_eq!(report.write.count, 50);
     }
 
     #[test]

@@ -206,6 +206,19 @@ impl SimReport {
         self.read.mean_us() + self.write.mean_us()
     }
 
+    /// Simulation throughput for a run that took `wall` of host time:
+    /// discrete events processed per wall-clock second. This is the
+    /// tracked perf metric of the `sim_throughput` bench; zero-duration
+    /// walls report 0 rather than dividing by zero.
+    pub fn events_per_sec(&self, wall: std::time::Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events_processed as f64 / secs
+        }
+    }
+
     /// Per-channel bus utilization over the makespan, in `[0, 1]`.
     /// Empty runs report all zeros.
     pub fn bus_utilization(&self) -> Vec<f64> {
@@ -244,6 +257,27 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_ns(), 0.0);
         assert_eq!(s.percentile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn events_per_sec_divides_by_wall_time() {
+        let report = SimReport {
+            tenants: Vec::new(),
+            read: LatencyStats::new(),
+            write: LatencyStats::new(),
+            total: LatencyStats::new(),
+            ftl: Default::default(),
+            wear: Default::default(),
+            makespan_ns: 0,
+            events_processed: 1_000,
+            bus_busy_ns: Vec::new(),
+            read_breakdown: Default::default(),
+            write_breakdown: Default::default(),
+            gc_busy_ns: 0,
+        };
+        let rate = report.events_per_sec(std::time::Duration::from_millis(500));
+        assert_eq!(rate, 2_000.0);
+        assert_eq!(report.events_per_sec(std::time::Duration::ZERO), 0.0);
     }
 
     #[test]

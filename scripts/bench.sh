@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tracked perf gate: runs the sim_throughput bench (events/sec on the
+# sim_micro workload) and records the result in BENCH_sim.json at the
+# repo root. The JSON keeps the first-ever run as the baseline, so every
+# later run reports its speedup against the committed starting point.
+#
+# Env knobs (all optional):
+#   SSDKEEPER_BENCH_ITERS   measured iterations  (default 10)
+#   SSDKEEPER_BENCH_WARMUP  warmup iterations    (default 2)
+#   SSDKEEPER_BENCH_JSON    output path          (default BENCH_sim.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package directory as
+# cwd, so a relative path would land inside crates/bench/.
+SSDKEEPER_BENCH_JSON="${SSDKEEPER_BENCH_JSON:-$(pwd)/BENCH_sim.json}" \
+    cargo bench --offline -q -p bench --bench sim_throughput

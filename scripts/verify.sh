@@ -19,4 +19,13 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
+# Opt-in perf smoke pass: SSDKEEPER_BENCH_SMOKE=1 runs the tracked
+# sim_throughput bench with a few fast iterations. It exercises the
+# whole bench path (and refreshes BENCH_sim.json) without making the
+# default verify run depend on machine speed.
+if [ "${SSDKEEPER_BENCH_SMOKE:-0}" != "0" ]; then
+    echo "==> scripts/bench.sh (smoke: ${SSDKEEPER_BENCH_ITERS:-3} iters)"
+    SSDKEEPER_BENCH_ITERS="${SSDKEEPER_BENCH_ITERS:-3}" sh scripts/bench.sh
+fi
+
 echo "verify: OK"

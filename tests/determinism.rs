@@ -2,7 +2,9 @@
 //! bit-identical traces, labels, models, and simulation reports.
 
 use ssdkeeper_repro::flash_sim::trace::{decode_trace, encode_trace};
-use ssdkeeper_repro::flash_sim::{Simulator, SsdConfig, TenantLayout};
+use ssdkeeper_repro::flash_sim::{
+    IoRequest, Op, PageAllocPolicy, Reallocation, SimReport, Simulator, SsdConfig, TenantLayout,
+};
 use ssdkeeper_repro::parallel::PoolConfig;
 use ssdkeeper_repro::ssdkeeper::label::EvalConfig;
 use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
@@ -79,6 +81,153 @@ fn dataset_and_model_are_deterministic_even_with_parallel_labelling() {
     let m2 = learner.train_with(&d2, OptimizerChoice::AdamLogistic, 10, 4);
     assert_eq!(m1.network, m2.network);
     assert_eq!(m1.history.loss, m2.history.loss);
+}
+
+/// FNV-1a over the report's `Debug` rendering: every counter, histogram
+/// bucket, and breakdown field participates, so two reports hash equal
+/// iff they are byte-identical.
+fn report_digest(report: &SimReport) -> u64 {
+    let text = format!("{report:?}");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fixture A: two tenants (one dynamic-policy writer, one reader) on a
+/// GC-pressured device with wear leveling, host queueing, and a mid-run
+/// channel reallocation — every stateful subsystem participates.
+fn gc_wear_realloc_report() -> SimReport {
+    let cfg = SsdConfig {
+        blocks_per_plane: 16,
+        pages_per_block: 16,
+        gc_free_block_threshold: 0.3,
+        wear_leveling_threshold: 4,
+        host_queue_depth: 8,
+        ..SsdConfig::paper_table1()
+    };
+    let streams: Vec<_> = [(0u16, 0.9, 5u64), (1u16, 0.2, 6u64)]
+        .iter()
+        .map(|&(tenant, write_ratio, seed)| {
+            let lpn_space = if tenant == 0 { 6144 } else { 3072 };
+            generate_tenant_stream(
+                &TenantSpec::synthetic(format!("t{tenant}"), write_ratio, 40_000.0, lpn_space),
+                tenant,
+                if tenant == 0 { 2_500 } else { 1_500 },
+                seed,
+            )
+        })
+        .collect();
+    let trace = mix_chronological(&streams, 4_000);
+    let layout = TenantLayout::shared(2, &cfg)
+        .with_lpn_space(0, 6144)
+        .with_lpn_space(1, 3072)
+        .with_policy(0, PageAllocPolicy::Dynamic);
+    let mut sim = Simulator::new(cfg, layout).unwrap();
+    sim.precondition(&[1.0, 1.0]).unwrap();
+    sim.schedule_reallocation(Reallocation {
+        at_ns: 30_000_000,
+        entries: vec![
+            (0, vec![0, 1, 2, 3], Some(PageAllocPolicy::Dynamic)),
+            (1, vec![4, 5, 6, 7], Some(PageAllocPolicy::Static)),
+        ],
+    })
+    .unwrap();
+    sim.run(&trace).unwrap()
+}
+
+/// Fixture B: one tenant hammering a hot region on a tiny read-priority
+/// device (die-level parallelism only), GC constantly active.
+fn read_priority_hot_report() -> SimReport {
+    let cfg = SsdConfig {
+        gc_free_block_threshold: 0.25,
+        plane_parallelism: false,
+        host_queue_depth: 2,
+        ..SsdConfig::small_test()
+    };
+    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(96);
+    let mut sim = Simulator::new(cfg, layout).unwrap();
+    sim.precondition(&[0.75]).unwrap();
+    let trace: Vec<IoRequest> = (0..2_000u64)
+        .map(|i| {
+            let op = if i % 5 == 4 { Op::Read } else { Op::Write };
+            IoRequest::new(i, 0, op, (i * 13) % 96, 1, i * 3_000)
+        })
+        .collect();
+    sim.run(&trace).unwrap()
+}
+
+/// Byte-identity pin against the pre-arena, pre-indexed-GC engine: the
+/// digests below were captured from the scan-based `pick_victim` and the
+/// monotonically growing command arena. The free-list arena and the
+/// bucketed victim index must reproduce them exactly.
+#[test]
+fn sim_reports_match_pre_arena_goldens() {
+    let a = gc_wear_realloc_report();
+    let b = read_priority_hot_report();
+    if std::env::var("SSDKEEPER_PRINT_GOLDEN").is_ok() {
+        println!(
+            "fixture A: digest {:#018x} events {} makespan {} gc {} moved {}",
+            report_digest(&a),
+            a.events_processed,
+            a.makespan_ns,
+            a.ftl.gc_invocations,
+            a.ftl.gc_pages_moved
+        );
+        println!(
+            "fixture B: digest {:#018x} events {} makespan {} gc {} moved {}",
+            report_digest(&b),
+            b.events_processed,
+            b.makespan_ns,
+            b.ftl.gc_invocations,
+            b.ftl.gc_pages_moved
+        );
+    }
+    assert!(a.ftl.gc_invocations > 0, "fixture A must exercise GC");
+    assert!(b.ftl.gc_invocations > 0, "fixture B must exercise GC");
+    assert_eq!(report_digest(&a), 0x1c0d_b95b_86a7_192c);
+    assert_eq!(a.events_processed, 16_038);
+    assert_eq!(a.makespan_ns, 97_785_251);
+    assert_eq!(report_digest(&b), 0x0204_ae74_3123_c445);
+    assert_eq!(b.events_processed, 8_182);
+    assert_eq!(b.makespan_ns, 322_483_000);
+}
+
+/// The thread-pool fan-out must be invisible in the results: the same
+/// fig2 sweep with one worker and with `auto()` workers has to produce
+/// bit-identical latencies for every strategy at every write proportion.
+#[test]
+fn fig2_sweep_is_identical_across_worker_counts() {
+    let base = exp::fig2::Fig2Config {
+        requests: 600,
+        total_iops: 60_000.0,
+        lpn_space: 1 << 10,
+        ssd: SsdConfig {
+            blocks_per_plane: 64,
+            pages_per_block: 32,
+            ..SsdConfig::paper_table1()
+        },
+        pool: PoolConfig::with_workers(1),
+        seed: 7,
+    };
+    let serial = exp::fig2::run(&base);
+    let parallel = exp::fig2::run(&exp::fig2::Fig2Config {
+        pool: PoolConfig::auto(),
+        ..base
+    });
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.write_pct, p.write_pct);
+        assert_eq!(s.evals.len(), p.evals.len());
+        for (se, pe) in s.evals.iter().zip(&p.evals) {
+            assert_eq!(se.strategy, pe.strategy);
+            assert_eq!(se.read_us.to_bits(), pe.read_us.to_bits());
+            assert_eq!(se.write_us.to_bits(), pe.write_us.to_bits());
+            assert_eq!(se.metric_us.to_bits(), pe.metric_us.to_bits());
+        }
+    }
 }
 
 #[test]
