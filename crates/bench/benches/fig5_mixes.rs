@@ -5,7 +5,7 @@
 
 use bench::harness::Group;
 use bench::{bench_allocator, bench_ssd, four_tenant_mix};
-use ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper::Strategy;
 
 fn fig5_modes() {
@@ -23,19 +23,23 @@ fn fig5_modes() {
     group.sample_size(10);
     group.bench("shared_baseline", || {
         keeper
-            .run_static(&trace, Strategy::Shared, &lpn_spaces)
+            .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Shared))
             .unwrap()
     });
     group.bench("isolated_baseline", || {
         keeper
-            .run_static(&trace, Strategy::Isolated, &lpn_spaces)
+            .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Isolated))
             .unwrap()
     });
     group.bench("ssdkeeper_adaptive", || {
-        keeper.run_adaptive(&trace, &lpn_spaces).unwrap()
+        keeper
+            .run(RunSpec::adapt_once(&trace, &lpn_spaces))
+            .unwrap()
     });
     group.bench("ssdkeeper_adaptive_hybrid", || {
-        keeper_hybrid.run_adaptive(&trace, &lpn_spaces).unwrap()
+        keeper_hybrid
+            .run(RunSpec::adapt_once(&trace, &lpn_spaces))
+            .unwrap()
     });
     group.finish();
 }

@@ -16,10 +16,18 @@
 //! When `SSDKEEPER_BENCH_JSON` names a file, the result is written there
 //! in the `BENCH_sim.json` format: the first ever run records itself as
 //! the baseline; later runs keep the stored baseline and report the
-//! speedup against it, growing the repo's perf trajectory.
+//! speedup against it, growing the repo's perf trajectory. The file also
+//! carries a `phases` section: mean per-command nanoseconds in each
+//! simulated phase (unit wait, array op, bus wait, transfer, GC) from the
+//! median run's [`flash_sim::PhaseReport`].
+//!
+//! `SSDKEEPER_BENCH_PROBE=1` additionally measures the same workload with
+//! a bounded [`flash_sim::EventRecorder`] attached and prints the probe
+//! overhead relative to the `NullProbe` run — the number the probe
+//! layer's ≤2 % discipline is checked against.
 
 use bench::harness::black_box;
-use flash_sim::{IoRequest, Op, Simulator, SsdConfig, TenantLayout};
+use flash_sim::{EventRecorder, IoRequest, Op, PhaseReport, SimBuilder, SsdConfig, TenantLayout};
 use std::time::{Duration, Instant};
 
 /// Requests in the sim_micro trace.
@@ -69,13 +77,16 @@ struct RunSample {
     events: u64,
     elapsed: Duration,
     events_per_sec: f64,
+    phases: PhaseReport,
 }
 
 fn run_once(trace: &[IoRequest]) -> RunSample {
     let cfg = sim_micro_cfg();
     let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(LPN_SPACE);
-    let mut sim = Simulator::new(cfg, layout).expect("sim_micro config is valid");
-    sim.precondition(&[1.0]).expect("precondition fits");
+    let sim = SimBuilder::new(cfg, layout)
+        .precondition(&[1.0])
+        .build()
+        .expect("sim_micro config is valid");
     let start = Instant::now();
     let report = sim.run(trace).expect("sim_micro trace runs clean");
     let elapsed = start.elapsed();
@@ -84,6 +95,31 @@ fn run_once(trace: &[IoRequest]) -> RunSample {
         events: report.events_processed,
         elapsed,
         events_per_sec: report.events_per_sec(elapsed),
+        phases: report.phases,
+    }
+}
+
+/// The same workload with a bounded recorder attached — the probed path
+/// whose overhead the ≤2 % discipline bounds.
+fn run_once_recorded(trace: &[IoRequest]) -> RunSample {
+    let cfg = sim_micro_cfg();
+    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(LPN_SPACE);
+    let mut rec = EventRecorder::with_capacity(1 << 16);
+    let sim = SimBuilder::new(cfg, layout)
+        .precondition(&[1.0])
+        .probe(&mut rec)
+        .build()
+        .expect("sim_micro config is valid");
+    let start = Instant::now();
+    let report = sim.run(trace).expect("sim_micro trace runs clean");
+    let elapsed = start.elapsed();
+    black_box(&report);
+    black_box(rec.len());
+    RunSample {
+        events: report.events_processed,
+        elapsed,
+        events_per_sec: report.events_per_sec(elapsed),
+        phases: report.phases,
     }
 }
 
@@ -114,8 +150,31 @@ fn main() {
         events_per_sec,
     );
 
+    if std::env::var("SSDKEEPER_BENCH_PROBE").map_or(false, |v| v == "1") {
+        for _ in 0..warmup {
+            black_box(run_once_recorded(&trace));
+        }
+        let mut probed: Vec<RunSample> = (0..iters).map(|_| run_once_recorded(&trace)).collect();
+        probed.sort_unstable_by_key(|s| s.elapsed);
+        let pmed = median(&probed);
+        let overhead = pmed.elapsed.as_secs_f64() / med.elapsed.as_secs_f64() - 1.0;
+        println!(
+            "sim_throughput/sim_micro+recorder  median={:?}  {:.0} events/s  \
+             probe overhead {:+.2}% vs NullProbe",
+            pmed.elapsed,
+            pmed.events_per_sec,
+            overhead * 100.0,
+        );
+    }
+
     if let Ok(path) = std::env::var("SSDKEEPER_BENCH_JSON") {
-        write_json(&path, events, med.elapsed.as_nanos() as u64, events_per_sec);
+        write_json(
+            &path,
+            events,
+            med.elapsed.as_nanos() as u64,
+            events_per_sec,
+            &med.phases,
+        );
     }
 }
 
@@ -133,7 +192,7 @@ fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64) {
+fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64, phases: &PhaseReport) {
     // Keep the recorded baseline when the file already has one so the
     // speedup is always measured against the first committed run.
     let existing = std::fs::read_to_string(path).unwrap_or_default();
@@ -146,6 +205,8 @@ fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64) {
         _ => (events, median_ns, events_per_sec),
     };
     let speedup = events_per_sec / base_eps;
+    // "phases" must stay after "current": json_number scans forward from
+    // the first occurrence of the section name.
     let body = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"sim_micro\",\n  \
          \"requests\": {REQUESTS},\n  \"hot_lpns\": {HOT_LPNS},\n  \
@@ -154,7 +215,16 @@ fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64) {
          \"events_per_sec\": {base_eps:.1} }},\n  \
          \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
          \"events_per_sec\": {events_per_sec:.1} }},\n  \
-         \"speedup_vs_baseline\": {speedup:.3}\n}}\n"
+         \"phases\": {{ \"wait_unit_mean_ns\": {:.1}, \"array_mean_ns\": {:.1}, \
+         \"wait_bus_mean_ns\": {:.1}, \"transfer_mean_ns\": {:.1}, \
+         \"gc_exec_mean_ns\": {:.1}, \"mean_queue_depth\": {:.2} }},\n  \
+         \"speedup_vs_baseline\": {speedup:.3}\n}}\n",
+        phases.wait_unit.mean(),
+        phases.array.mean(),
+        phases.wait_bus.mean(),
+        phases.transfer.mean(),
+        phases.gc_exec.mean(),
+        phases.queue_depth.mean(),
     );
     std::fs::write(path, body).expect("write BENCH json");
     println!("sim_throughput: wrote {path} (speedup vs baseline: {speedup:.3}x)");

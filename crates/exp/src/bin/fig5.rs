@@ -4,16 +4,23 @@
 //!
 //! ```text
 //! cargo run --release -p exp --bin fig5 [--model artifacts/model.txt --max-iops 120000] \
-//!     [--samples 400] [--requests 100000] [--epochs 200]
+//!     [--samples 400] [--requests 100000] [--epochs 200] [--trace-out events.ssdp]
 //! ```
 //!
 //! Without `--model`, a model is trained first (Adam-logistic, the
-//! paper's best configuration).
+//! paper's best configuration). With `--trace-out <path>`, the Mix1
+//! adapt-once session is re-run with an [`EventRecorder`] attached and
+//! the captured events (command lifecycle, bus occupancy, GC passes,
+//! reallocation, the keeper decision) are written to `path` in the SSDP
+//! little-endian codec (`ssdkeeper::obs::decode_events` reads it back).
 
 use exp::args::Args;
-use exp::fig5::{render_fig5, render_summary, render_tables45, run, Fig5Config};
+use exp::fig5::{build_mix, render_fig5, render_summary, render_tables45, run, Fig5Config};
+use ssdkeeper::keeper::{Keeper, KeeperConfig};
 use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
+use ssdkeeper::obs::{encode_events, EventRecorder, RunSpec};
 use ssdkeeper::ChannelAllocator;
+use workloads::msr::paper_mix_profiles;
 
 fn main() {
     let args = Args::from_env();
@@ -61,4 +68,35 @@ fn main() {
     println!("{}", render_tables45(&results));
     println!("{}", render_fig5(&results));
     println!("{}", render_summary(&results));
+
+    if let Some(path) = args.get_opt("trace-out") {
+        write_trace(path, &cfg, &allocator);
+    }
+}
+
+/// Re-runs the Mix1 adapt-once session with a bounded recorder attached
+/// and persists the captured events at `path` in the SSDP codec.
+fn write_trace(path: &str, cfg: &Fig5Config, allocator: &ChannelAllocator) {
+    let [profile, ..] = paper_mix_profiles();
+    let trace = build_mix(&profile, cfg);
+    let keeper = Keeper::new(
+        KeeperConfig {
+            ssd: cfg.ssd.clone(),
+            observe_window_ns: cfg.observe_window_ns,
+            hybrid: false,
+        },
+        allocator.clone(),
+    );
+    let mut rec = EventRecorder::with_capacity(1 << 16);
+    keeper
+        .run(RunSpec::adapt_once(&trace, &[cfg.lpn_space; 4]).with_probe(&mut rec))
+        .expect("instrumented Mix1 run");
+    let bytes = encode_events(rec.events(), rec.dropped());
+    std::fs::write(path, &bytes).expect("write --trace-out file");
+    eprintln!(
+        "fig5: wrote {} events ({} dropped, {} bytes) to {path}",
+        rec.len(),
+        rec.dropped(),
+        bytes.len()
+    );
 }

@@ -9,7 +9,7 @@
 
 use crate::table::{f2, Table};
 use flash_sim::{IoRequest, SimReport, SsdConfig};
-use ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper::{ChannelAllocator, FeatureVector, Strategy};
 use workloads::msr::{paper_mix_profiles, MixProfile, MsrTrace};
 use workloads::{generate_tenant_stream, mix_chronological};
@@ -125,28 +125,35 @@ pub fn run(cfg: &Fig5Config, allocator: &ChannelAllocator) -> Vec<MixResult> {
             let keeper_hybrid = Keeper::new(keeper_cfg(true), allocator.clone());
 
             let shared = keeper_plain
-                .run_static(&trace, Strategy::Shared, &lpn_spaces)
-                .expect("shared baseline run");
+                .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Shared))
+                .expect("shared baseline run")
+                .report;
             let isolated = keeper_plain
-                .run_static(&trace, Strategy::Isolated, &lpn_spaces)
-                .expect("isolated baseline run");
+                .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Isolated))
+                .expect("isolated baseline run")
+                .report;
             // Algorithm 2 online run: observe, predict, live-switch.
             let online = keeper_plain
-                .run_adaptive(&trace, &lpn_spaces)
+                .run(RunSpec::adapt_once(&trace, &lpn_spaces))
                 .expect("online adaptive run");
             // Steady state: the predicted strategy applied from t=0 (the
             // paper's Figure 5 comparison).
             let steady = keeper_plain
-                .run_static(&trace, online.strategy, &lpn_spaces)
-                .expect("steady run");
+                .run(RunSpec::fixed(&trace, &lpn_spaces, online.strategy))
+                .expect("steady run")
+                .report;
             let steady_hybrid = keeper_hybrid
-                .run_static(&trace, online.strategy, &lpn_spaces)
-                .expect("steady hybrid run");
+                .run(RunSpec::fixed(&trace, &lpn_spaces, online.strategy))
+                .expect("steady hybrid run")
+                .report;
 
             MixResult {
                 name,
                 members,
-                features: online.features,
+                features: online
+                    .features
+                    .clone()
+                    .expect("adapt-once always computes features"),
                 chosen: online.strategy,
                 shared,
                 isolated,

@@ -20,6 +20,8 @@ use super::{Ftl, FtlError, PageState};
 pub struct GcCharge {
     /// Flat plane index that performs the pass.
     pub plane: usize,
+    /// Block index of the chosen victim within the plane.
+    pub victim_block: u32,
     /// Total busy time: valid-page moves plus the erase.
     pub duration_ns: u64,
     /// Valid pages migrated.
@@ -110,6 +112,7 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
 
     Some(GcCharge {
         plane,
+        victim_block: victim as u32,
         duration_ns: moved as u64 * (read_ns + write_ns) + erase_ns,
         moved_pages: moved,
         erased_blocks: 1,
@@ -195,6 +198,7 @@ mod tests {
                 assert_eq!(gc.duration_ns, gc.moved_pages as u64 * (r + w) + e);
                 assert_eq!(gc.erased_blocks, 1);
                 assert_eq!(gc.plane, 0);
+                assert!((gc.victim_block as usize) < SsdConfig::small_test().blocks_per_plane);
                 found = true;
                 break;
             }

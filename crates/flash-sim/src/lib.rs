@@ -45,6 +45,7 @@ pub mod config;
 pub mod event;
 pub mod ftl;
 pub mod geometry;
+pub mod probe;
 pub mod request;
 pub mod scheduler;
 pub mod sim;
@@ -55,7 +56,8 @@ pub mod trace;
 pub use config::SsdConfig;
 pub use ftl::alloc::PageAllocPolicy;
 pub use geometry::{Geometry, PhysAddr};
+pub use probe::{EventRecorder, NullProbe, Probe, ProbeEvent};
 pub use request::{IoRequest, Op};
-pub use sim::{Reallocation, SimError, Simulator};
-pub use stats::{LatencyStats, SimReport, TenantReport};
+pub use sim::{Reallocation, SimBuilder, SimError, Simulator};
+pub use stats::{LatencyStats, PhaseHist, PhaseReport, SimReport, TenantReport};
 pub use tenant::{ChannelSet, TenantLayout};

@@ -31,9 +31,12 @@ use crate::ftl::alloc::{self, PageAllocPolicy};
 use crate::ftl::wear::wear_summary;
 use crate::ftl::{Ftl, FtlError};
 use crate::geometry::Geometry;
+use crate::probe::{
+    BusAcquire, BusRelease, CmdComplete, CmdIssue, GcCollect, NullProbe, Probe, ReallocApply,
+};
 use crate::request::{IoRequest, Op};
 use crate::scheduler::{BusSched, CmdClass, DieSched};
-use crate::stats::{LatencyBreakdown, LatencyStats, SimReport, TenantReport};
+use crate::stats::{LatencyBreakdown, LatencyStats, PhaseReport, SimReport, TenantReport};
 use crate::tenant::{ChannelSet, TenantLayout};
 
 /// Sentinel request id for internal (GC) commands.
@@ -131,6 +134,12 @@ pub enum SimError {
         /// Explanation.
         reason: String,
     },
+    /// A tenant layout could not be constructed (e.g. a strategy's channel
+    /// lists reference channels outside the device).
+    BadLayout {
+        /// Explanation.
+        reason: String,
+    },
     /// The command arena ran out of `CmdId`s: more commands were in
     /// flight at once than the id space can name. With slot recycling
     /// this only happens at a forced (test) limit or a truly absurd
@@ -168,6 +177,7 @@ impl std::fmt::Display for SimError {
                 "plane {plane} would hold {required} logical pages but only {available} fit"
             ),
             SimError::BadReallocation { reason } => write!(f, "bad reallocation: {reason}"),
+            SimError::BadLayout { reason } => write!(f, "bad layout: {reason}"),
             SimError::CmdIdsExhausted { limit } => {
                 write!(f, "command arena exhausted: {limit} slots all in flight")
             }
@@ -196,9 +206,15 @@ impl From<ConfigError> for SimError {
 ///
 /// Build one per run: [`Simulator::run`] consumes the instance so that
 /// every report corresponds to a device that started empty (plus lazy read
-/// seeding).
+/// seeding). Prefer [`Simulator::builder`] for anything beyond the plain
+/// `new` + `run` shape (preconditioning, slot limits, probes).
+///
+/// The engine is generic over a [`Probe`] sink; the default [`NullProbe`]
+/// monomorphizes every hook into nothing, so un-probed runs carry no
+/// observability cost. Attach a probe (e.g. `&mut EventRecorder`) via
+/// [`SimBuilder::probe`].
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<P: Probe = NullProbe> {
     cfg: SsdConfig,
     geo: Geometry,
     layout: TenantLayout,
@@ -235,6 +251,89 @@ pub struct Simulator {
     read_breakdown: LatencyBreakdown,
     write_breakdown: LatencyBreakdown,
     gc_busy_ns: u64,
+    // Boxed: ~1.6 KiB of histogram buckets would otherwise sit inline in
+    // the hot Simulator struct and measurably slow the event loop.
+    phases: Box<PhaseReport>,
+    probe: P,
+}
+
+/// Fluent construction for [`Simulator`]: config + layout, then optional
+/// preconditioning fill, command-slot limit, and probe, then
+/// [`SimBuilder::build`]. Replaces the old `Simulator::new` +
+/// mutate-then-`run` shape at every call site that needed more than the
+/// defaults.
+///
+/// ```
+/// # use flash_sim::{SimBuilder, SsdConfig, TenantLayout};
+/// let cfg = SsdConfig::small_test();
+/// let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(64);
+/// let sim = SimBuilder::new(cfg, layout)
+///     .precondition(&[0.5])
+///     .build()
+///     .unwrap();
+/// # let _ = sim;
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder<P: Probe = NullProbe> {
+    cfg: SsdConfig,
+    layout: TenantLayout,
+    fill_fractions: Vec<f64>,
+    cmd_slot_limit: Option<u32>,
+    probe: P,
+}
+
+impl SimBuilder {
+    /// Starts a builder with no preconditioning, the full command-id
+    /// space, and the zero-cost [`NullProbe`].
+    pub fn new(cfg: SsdConfig, layout: TenantLayout) -> Self {
+        Self {
+            cfg,
+            layout,
+            fill_fractions: Vec::new(),
+            cmd_slot_limit: None,
+            probe: NullProbe,
+        }
+    }
+}
+
+impl<P: Probe> SimBuilder<P> {
+    /// Preconditions the device at build time: per-tenant fill fractions
+    /// as in [`Simulator::precondition`].
+    pub fn precondition(mut self, fill_fractions: &[f64]) -> Self {
+        self.fill_fractions = fill_fractions.to_vec();
+        self
+    }
+
+    /// Caps the command arena at `limit` slots (exercises
+    /// [`SimError::CmdIdsExhausted`] without 2^32 live commands).
+    pub fn cmd_slot_limit(mut self, limit: u32) -> Self {
+        self.cmd_slot_limit = Some(limit);
+        self
+    }
+
+    /// Attaches a probe. Pass `&mut recorder` to keep the recorder after
+    /// [`Simulator::run`] consumes the simulator.
+    pub fn probe<Q: Probe>(self, probe: Q) -> SimBuilder<Q> {
+        SimBuilder {
+            cfg: self.cfg,
+            layout: self.layout,
+            fill_fractions: self.fill_fractions,
+            cmd_slot_limit: self.cmd_slot_limit,
+            probe,
+        }
+    }
+
+    /// Validates and constructs the simulator.
+    pub fn build(self) -> Result<Simulator<P>, SimError> {
+        let mut sim = Simulator::with_probe(self.cfg, self.layout, self.probe)?;
+        if let Some(limit) = self.cmd_slot_limit {
+            sim.cmd_slot_limit = limit;
+        }
+        if !self.fill_fractions.is_empty() {
+            sim.precondition(&self.fill_fractions)?;
+        }
+        Ok(sim)
+    }
 }
 
 impl Simulator {
@@ -244,6 +343,19 @@ impl Simulator {
     /// logical spaces would statically overflow the planes they stripe
     /// over (see [`SimError::CapacityExceeded`]).
     pub fn new(cfg: SsdConfig, layout: TenantLayout) -> Result<Self, SimError> {
+        Self::with_probe(cfg, layout, NullProbe)
+    }
+
+    /// Starts a [`SimBuilder`] for `cfg` and `layout`.
+    pub fn builder(cfg: SsdConfig, layout: TenantLayout) -> SimBuilder {
+        SimBuilder::new(cfg, layout)
+    }
+}
+
+impl<P: Probe> Simulator<P> {
+    /// Creates a simulator with an attached probe; see [`Simulator::new`]
+    /// for the validation performed.
+    pub fn with_probe(cfg: SsdConfig, layout: TenantLayout, probe: P) -> Result<Self, SimError> {
         cfg.validate()?;
         let geo = Geometry::new(&cfg);
         check_capacity(&cfg, &geo, &layout)?;
@@ -281,6 +393,8 @@ impl Simulator {
             read_breakdown: LatencyBreakdown::default(),
             write_breakdown: LatencyBreakdown::default(),
             gc_busy_ns: 0,
+            phases: Box::default(),
+            probe,
             cfg,
             geo,
             layout,
@@ -405,6 +519,7 @@ impl Simulator {
             read_breakdown: self.read_breakdown,
             write_breakdown: self.write_breakdown,
             gc_busy_ns: self.gc_busy_ns,
+            phases: std::mem::take(&mut *self.phases),
         })
     }
 
@@ -439,6 +554,20 @@ impl Simulator {
                 if let Some(p) = policy {
                     state.policy = p;
                 }
+                let mut channel_mask = 0u64;
+                for &ch in state.channels.channels() {
+                    channel_mask |= 1u64 << ch;
+                }
+                self.probe.on_realloc(&ReallocApply {
+                    at_ns: r.at_ns,
+                    tenant: tenant as u16,
+                    policy: match policy {
+                        None => 0,
+                        Some(PageAllocPolicy::Static) => 1,
+                        Some(PageAllocPolicy::Dynamic) => 2,
+                    },
+                    channel_mask,
+                });
             }
             self.next_realloc += 1;
         }
@@ -514,6 +643,14 @@ impl Simulator {
                     if let Some(gc) = outcome.gc {
                         let gc_unit = self.unit_of_plane(gc.plane) as u32;
                         let gc_channel = self.geo.channel_of_plane(gc.plane) as u16;
+                        self.probe.on_gc_collect(&GcCollect {
+                            at_ns: now,
+                            plane: gc.plane as u32,
+                            victim_block: gc.victim_block,
+                            moved_pages: gc.moved_pages,
+                            erased_blocks: gc.erased_blocks,
+                            duration_ns: gc.duration_ns,
+                        });
                         self.spawn_cmd(
                             NO_REQ,
                             CmdClass::Write,
@@ -575,12 +712,24 @@ impl Simulator {
         let d = &mut self.units[unit as usize];
         d.backlog += 1;
         d.queue.push(id, class);
+        let queue_depth = d.backlog;
+        self.phases.queue_depth.record(queue_depth as u64);
+        self.probe.on_cmd_issue(&CmdIssue {
+            at_ns: now,
+            cmd: id,
+            class,
+            gc: req == NO_REQ,
+            unit,
+            channel,
+            queue_depth,
+        });
         self.try_start_die(unit as usize, now);
         Ok(())
     }
 
     /// Returns a finished command's arena slot to the free list. Must only
     /// be called once per command, after its last use of `self.cmds[id]`.
+    #[inline]
     fn retire_cmd(&mut self, cmd_id: CmdId) {
         self.free_cmd_slots.push(cmd_id);
     }
@@ -588,12 +737,14 @@ impl Simulator {
     /// Caps the command arena at `limit` slots (test hook for exercising
     /// [`SimError::CmdIdsExhausted`] without 2^32 live commands).
     #[doc(hidden)]
+    #[deprecated(note = "use SimBuilder::cmd_slot_limit")]
     pub fn limit_cmd_slots(&mut self, limit: u32) {
         self.cmd_slot_limit = limit;
     }
 
     /// If the unit is idle, pops its next command and starts its first
     /// unit-holding phase.
+    #[inline]
     fn try_start_die(&mut self, unit: usize, now: u64) {
         if self.units[unit].busy {
             return;
@@ -611,6 +762,7 @@ impl Simulator {
         };
         if !is_gc {
             self.breakdown_mut(class).wait_unit_ns += waited;
+            self.phases.wait_unit.record(waited);
         }
         let cmd = self.cmds[cmd_id as usize];
         match cmd.phase {
@@ -629,6 +781,7 @@ impl Simulator {
         }
     }
 
+    #[inline]
     fn breakdown_mut(&mut self, class: CmdClass) -> &mut LatencyBreakdown {
         match class {
             CmdClass::Read => &mut self.read_breakdown,
@@ -649,6 +802,7 @@ impl Simulator {
         }
     }
 
+    #[inline]
     fn start_transfer(&mut self, cmd_id: CmdId, now: u64) {
         let cmd = &mut self.cmds[cmd_id as usize];
         cmd.phase = match cmd.phase {
@@ -659,17 +813,27 @@ impl Simulator {
         let waited_for_bus = now - cmd.t_mark;
         cmd.t_mark = now;
         let class = cmd.class;
-        self.bus_busy_ns[cmd.channel as usize] += self.transfer_ns;
+        let channel = cmd.channel;
+        self.bus_busy_ns[channel as usize] += self.transfer_ns;
         {
             let transfer_ns = self.transfer_ns;
             let b = self.breakdown_mut(class);
             b.wait_bus_ns += waited_for_bus;
             b.transfer_ns += transfer_ns;
         }
+        self.phases.wait_bus.record(waited_for_bus);
+        self.phases.transfer.record(self.transfer_ns);
+        self.probe.on_bus_acquire(&BusAcquire {
+            at_ns: now,
+            cmd: cmd_id,
+            channel,
+            waited_ns: waited_for_bus,
+        });
         self.events
             .push(now + self.transfer_ns, EventKind::BusDone(cmd_id));
     }
 
+    #[inline]
     fn on_die_done(&mut self, cmd_id: CmdId, now: u64) {
         let phase = self.cmds[cmd_id as usize].phase;
         match phase {
@@ -681,6 +845,7 @@ impl Simulator {
                     cmd.phase = Phase::WaitBusRead;
                     self.read_breakdown.array_ns += elapsed;
                     self.read_breakdown.cmds += 1;
+                    self.phases.array.record(elapsed);
                 }
                 self.request_bus(cmd_id, now);
             }
@@ -688,13 +853,16 @@ impl Simulator {
                 let elapsed = now - self.cmds[cmd_id as usize].t_mark;
                 self.write_breakdown.array_ns += elapsed;
                 self.write_breakdown.cmds += 1;
+                self.phases.array.record(elapsed);
                 self.complete_cmd(cmd_id, now);
                 let unit = self.cmds[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
                 self.retire_cmd(cmd_id);
             }
             Phase::GcExec => {
-                self.gc_busy_ns += self.cmds[cmd_id as usize].gc_duration_ns;
+                let gc_ns = self.cmds[cmd_id as usize].gc_duration_ns;
+                self.gc_busy_ns += gc_ns;
+                self.phases.gc_exec.record(gc_ns);
                 self.complete_cmd(cmd_id, now);
                 let unit = self.cmds[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
@@ -704,10 +872,17 @@ impl Simulator {
         }
     }
 
+    #[inline]
     fn on_bus_done(&mut self, cmd_id: CmdId, now: u64) {
         // Free the bus and hand it to the next waiter first, so bus
         // utilization is back-to-back.
         let channel = self.cmds[cmd_id as usize].channel as usize;
+        self.probe.on_bus_release(&BusRelease {
+            at_ns: now,
+            cmd: cmd_id,
+            channel: channel as u16,
+            held_ns: self.transfer_ns,
+        });
         self.buses[channel].busy = false;
         if let Some(next) = self.buses[channel].queue.pop(self.cfg.sched_policy) {
             self.buses[channel].busy = true;
@@ -744,9 +919,20 @@ impl Simulator {
         self.try_start_die(unit, now);
     }
 
+    #[inline]
     fn complete_cmd(&mut self, cmd_id: CmdId, now: u64) {
         self.makespan_ns = self.makespan_ns.max(now);
-        let req = self.cmds[cmd_id as usize].req;
+        let cmd = self.cmds[cmd_id as usize];
+        let req = cmd.req;
+        self.probe.on_cmd_complete(&CmdComplete {
+            at_ns: now,
+            cmd: cmd_id,
+            class: cmd.class,
+            gc: req == NO_REQ,
+            unit: cmd.unit,
+            channel: cmd.channel,
+            latency_ns: now - cmd.t_spawn,
+        });
         if req == NO_REQ {
             return; // internal GC op
         }
@@ -1430,8 +1616,12 @@ mod tests {
     fn cmd_arena_exhaustion_is_a_typed_error() {
         // One slot, one 2-page read: the fan-out needs two concurrent
         // commands, so the second spawn must fail loudly rather than wrap.
-        let mut sim = one_tenant_sim();
-        sim.limit_cmd_slots(1);
+        let cfg = small_cfg();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(256);
+        let sim = Simulator::builder(cfg, layout)
+            .cmd_slot_limit(1)
+            .build()
+            .unwrap();
         let trace = vec![IoRequest::new(0, 0, Op::Read, 0, 2, 0)];
         assert_eq!(
             sim.run(&trace).unwrap_err(),
@@ -1445,13 +1635,192 @@ mod tests {
         // command is ever in flight, so recycling keeps the whole run
         // inside a 2-slot arena (one would also work, but GC on another
         // config could overlap — 2 shows the plateau, not the trace len).
-        let mut sim = one_tenant_sim();
-        sim.limit_cmd_slots(2);
+        let cfg = small_cfg();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(256);
+        let sim = Simulator::builder(cfg, layout)
+            .cmd_slot_limit(2)
+            .build()
+            .unwrap();
         let trace: Vec<IoRequest> = (0..50)
             .map(|i| IoRequest::new(i, 0, Op::Write, i % 64, 1, i * 1_000_000))
             .collect();
         let report = sim.run(&trace).unwrap();
         assert_eq!(report.write.count, 50);
+    }
+
+    #[test]
+    fn builder_precondition_matches_mutating_call() {
+        let cfg = small_cfg();
+        let layout = || TenantLayout::shared(1, &cfg).with_lpn_space_all(256);
+        let trace = vec![IoRequest::new(0, 0, Op::Read, 10, 1, 0)];
+        let built = Simulator::builder(cfg.clone(), layout())
+            .precondition(&[0.5])
+            .build()
+            .unwrap()
+            .run(&trace)
+            .unwrap();
+        let mut sim = Simulator::new(cfg.clone(), layout()).unwrap();
+        sim.precondition(&[0.5]).unwrap();
+        assert_eq!(built, sim.run(&trace).unwrap());
+    }
+
+    #[test]
+    fn phases_cover_every_breakdown_nanosecond() {
+        // The per-phase histogram sums must equal the breakdown sums the
+        // engine already keeps — they record at the same points.
+        let cfg = small_cfg();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(256);
+        let sim = Simulator::new(cfg, layout).unwrap();
+        let trace: Vec<IoRequest> = (0..100)
+            .map(|i| {
+                let op = if i % 3 == 0 { Op::Write } else { Op::Read };
+                IoRequest::new(i, 0, op, (i * 3) % 256, 1, i * 5_000)
+            })
+            .collect();
+        let report = sim.run(&trace).unwrap();
+        let p = &report.phases;
+        let b_read = &report.read_breakdown;
+        let b_write = &report.write_breakdown;
+        assert_eq!(
+            p.wait_unit.sum_ns,
+            b_read.wait_unit_ns + b_write.wait_unit_ns
+        );
+        assert_eq!(p.array.sum_ns, b_read.array_ns + b_write.array_ns);
+        assert_eq!(p.wait_bus.sum_ns, b_read.wait_bus_ns + b_write.wait_bus_ns);
+        assert_eq!(p.transfer.sum_ns, b_read.transfer_ns + b_write.transfer_ns);
+        assert_eq!(p.gc_exec.sum_ns, report.gc_busy_ns);
+        // Every issued command sampled the queue depth once, at depth >= 1.
+        assert_eq!(p.queue_depth.count, p.transfer.count + p.gc_exec.count);
+        assert!(p.queue_depth.sum_ns >= p.queue_depth.count);
+    }
+
+    #[test]
+    fn probe_sees_the_full_command_lifecycle() {
+        use crate::probe::{EventRecorder, ProbeEvent};
+        let cfg = small_cfg();
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(256);
+        let mut rec = EventRecorder::with_capacity(1 << 12);
+        let sim = Simulator::builder(cfg, layout)
+            .probe(&mut rec)
+            .build()
+            .unwrap();
+        let trace = vec![
+            IoRequest::new(0, 0, Op::Write, 0, 1, 0),
+            IoRequest::new(1, 0, Op::Read, 0, 1, 10_000_000),
+        ];
+        let report = sim.run(&trace).unwrap();
+        assert_eq!(report.total.count, 2);
+        let evs = rec.to_vec();
+        let issues = evs
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::CmdIssue(_)))
+            .count();
+        let completes: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                ProbeEvent::CmdComplete(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        let acquires = evs
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::BusAcquire(_)))
+            .count();
+        let releases = evs
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::BusRelease(_)))
+            .count();
+        assert_eq!(issues, 2);
+        assert_eq!(completes.len(), 2);
+        assert_eq!(acquires, 2);
+        assert_eq!(releases, 2);
+        // Unloaded single-page commands: latency = service time exactly.
+        assert_eq!(completes[0].latency_ns, 20_480 + 200 * US);
+        assert_eq!(completes[1].latency_ns, 20 * US + 20_480);
+        // Event times are non-decreasing in emission order.
+        for w in evs.windows(2) {
+            assert!(w[0].at_ns() <= w[1].at_ns());
+        }
+    }
+
+    #[test]
+    fn probe_observes_reallocation_entries() {
+        use crate::probe::{EventRecorder, ProbeEvent};
+        let cfg = small_cfg();
+        let layout = TenantLayout::from_channel_lists(&[vec![0]], &cfg)
+            .unwrap()
+            .with_lpn_space_all(256);
+        let mut rec = EventRecorder::with_capacity(64);
+        let mut sim = Simulator::builder(cfg, layout)
+            .probe(&mut rec)
+            .build()
+            .unwrap();
+        sim.schedule_reallocation(Reallocation {
+            at_ns: 1_000_000,
+            entries: vec![(0, vec![1], Some(PageAllocPolicy::Dynamic))],
+        })
+        .unwrap();
+        let trace = vec![
+            IoRequest::new(0, 0, Op::Write, 0, 1, 0),
+            IoRequest::new(1, 0, Op::Write, 1, 1, 2_000_000),
+        ];
+        sim.run(&trace).unwrap();
+        let reallocs: Vec<_> = rec
+            .to_vec()
+            .into_iter()
+            .filter_map(|e| match e {
+                ProbeEvent::Realloc(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reallocs.len(), 1);
+        assert_eq!(reallocs[0].at_ns, 1_000_000);
+        assert_eq!(reallocs[0].tenant, 0);
+        assert_eq!(reallocs[0].channel_mask, 0b10);
+        assert_eq!(reallocs[0].policy, 2);
+    }
+
+    #[test]
+    fn probe_observes_gc_passes() {
+        use crate::probe::{EventRecorder, ProbeEvent};
+        let cfg = SsdConfig {
+            channels: 1,
+            chips_per_channel: 1,
+            dies_per_chip: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 8,
+            gc_free_block_threshold: 0.3,
+            ..SsdConfig::small_test()
+        };
+        let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(16);
+        let mut rec = EventRecorder::with_capacity(1 << 14);
+        let sim = Simulator::builder(cfg.clone(), layout)
+            .probe(&mut rec)
+            .build()
+            .unwrap();
+        let trace: Vec<IoRequest> = (0..256)
+            .map(|i| IoRequest::new(i, 0, Op::Write, i % 16, 1, 0))
+            .collect();
+        let report = sim.run(&trace).unwrap();
+        assert!(report.ftl.gc_invocations > 0);
+        let gcs: Vec<_> = rec
+            .to_vec()
+            .into_iter()
+            .filter_map(|e| match e {
+                ProbeEvent::GcCollect(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gcs.len() as u64, report.ftl.gc_invocations);
+        for g in &gcs {
+            assert_eq!(g.plane, 0, "single-plane device");
+            assert!((g.victim_block as usize) < cfg.blocks_per_plane);
+            assert!(g.duration_ns > 0);
+            assert!(g.erased_blocks >= 1);
+        }
+        let moved: u64 = gcs.iter().map(|g| g.moved_pages as u64).sum();
+        assert_eq!(moved, report.ftl.gc_pages_moved);
     }
 
     #[test]

@@ -151,6 +151,97 @@ impl LatencyBreakdown {
     }
 }
 
+/// Number of log₂ buckets in a [`PhaseHist`] (covers 1 ns .. ~2 s, with
+/// everything larger clamped into the last bucket). Narrower than
+/// [`LatencyStats`] so the always-on per-phase histograms stay small.
+pub const PHASE_BUCKETS: usize = 32;
+
+/// Fixed-bucket log₂ histogram for one simulation phase. Unlike
+/// [`LatencyStats`] this carries no min/max and a smaller bucket array:
+/// it is recorded on the hot path for every page command, so the record
+/// cost must be a handful of stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseHist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum_ns: u64,
+    /// Log₂ buckets: sample `v` lands in `min(bits(v), 31)` where
+    /// `bits(0) = 0`.
+    pub buckets: [u64; PHASE_BUCKETS],
+}
+
+impl Default for PhaseHist {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            buckets: [0; PHASE_BUCKETS],
+        }
+    }
+}
+
+impl PhaseHist {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum_ns += v;
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket.min(PHASE_BUCKETS - 1)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &PhaseHist) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Where simulated time goes, histogrammed per phase — the report-level
+/// aggregation of the probe layer's hook points (see `probe` module docs).
+/// Recorded unconditionally: the entries update at the same places the
+/// [`LatencyBreakdown`] sums do, reusing already-computed durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Per-command time queued for the execution unit (plane/die).
+    pub wait_unit: PhaseHist,
+    /// Per-command array operation time (read sense / program).
+    pub array: PhaseHist,
+    /// Per-command time holding the unit while waiting for the bus.
+    pub wait_bus: PhaseHist,
+    /// Per-command bus transfer time.
+    pub transfer: PhaseHist,
+    /// Per-pass GC composite duration.
+    pub gc_exec: PhaseHist,
+    /// Unit backlog sampled at each command issue (samples, not ns).
+    pub queue_depth: PhaseHist,
+}
+
+impl PhaseReport {
+    /// Merges another phase report into this one.
+    pub fn merge(&mut self, other: &PhaseReport) {
+        self.wait_unit.merge(&other.wait_unit);
+        self.array.merge(&other.array);
+        self.wait_bus.merge(&other.wait_bus);
+        self.transfer.merge(&other.transfer);
+        self.gc_exec.merge(&other.gc_exec);
+        self.queue_depth.merge(&other.queue_depth);
+    }
+}
+
 /// Per-tenant latency breakdown.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TenantReport {
@@ -196,6 +287,8 @@ pub struct SimReport {
     pub write_breakdown: LatencyBreakdown,
     /// Total die time consumed by GC composite operations.
     pub gc_busy_ns: u64,
+    /// Per-phase latency and queue-depth histograms (always collected).
+    pub phases: PhaseReport,
 }
 
 impl SimReport {
@@ -274,6 +367,7 @@ mod tests {
             read_breakdown: Default::default(),
             write_breakdown: Default::default(),
             gc_busy_ns: 0,
+            phases: Default::default(),
         };
         let rate = report.events_per_sec(std::time::Duration::from_millis(500));
         assert_eq!(rate, 2_000.0);
@@ -360,6 +454,43 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn phase_hist_records_and_merges() {
+        let mut a = PhaseHist::default();
+        a.record(0);
+        a.record(100);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum_ns, 100);
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[7], 1); // 100 needs 7 bits
+        assert!((a.mean() - 50.0).abs() < 1e-9);
+
+        // Out-of-range samples clamp into the last bucket.
+        a.record(1 << 60);
+        assert_eq!(a.buckets[PHASE_BUCKETS - 1], 1);
+
+        let mut b = PhaseHist::default();
+        b.record(100);
+        b.merge(&a);
+        assert_eq!(b.count, 4);
+        assert_eq!(b.buckets[7], 2);
+        assert_eq!(PhaseHist::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn phase_report_merge_combines_all_phases() {
+        let mut a = PhaseReport::default();
+        a.wait_unit.record(1);
+        a.gc_exec.record(2);
+        let mut b = PhaseReport::default();
+        b.wait_unit.record(3);
+        b.queue_depth.record(4);
+        a.merge(&b);
+        assert_eq!(a.wait_unit.count, 2);
+        assert_eq!(a.gc_exec.count, 1);
+        assert_eq!(a.queue_depth.count, 1);
     }
 
     /// merge(a, b) equals recording the union.

@@ -12,9 +12,136 @@ use crate::allocator::ChannelAllocator;
 use crate::features::{FeatureVector, TENANTS};
 use crate::hybrid;
 use crate::strategy::Strategy;
+use flash_sim::probe::{KeeperDecision, NullProbe, Probe, DECISION_CLASSES, DECISION_FEATURES};
 use flash_sim::sim::Reallocation;
-use flash_sim::{IoRequest, SimError, SimReport, Simulator, SsdConfig, TenantLayout};
+use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
 use workloads::{IntensityScale, ObservedFeatures};
+
+/// Errors surfaced by [`Keeper::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeeperError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// The spec named an unsupported tenant count (1..=4 supported).
+    TenantCount {
+        /// The tenant count the spec carried.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for KeeperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeeperError::Sim(e) => write!(f, "simulation error: {e}"),
+            KeeperError::TenantCount { got } => {
+                write!(
+                    f,
+                    "unsupported tenant count {got} (1..={TENANTS} supported)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeeperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KeeperError::Sim(e) => Some(e),
+            KeeperError::TenantCount { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for KeeperError {
+    fn from(e: SimError) -> Self {
+        KeeperError::Sim(e)
+    }
+}
+
+/// How [`Keeper::run`] drives the channel allocation over the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// One fixed strategy from `t = 0` (the Figure 5 baselines).
+    Fixed(Strategy),
+    /// Algorithm 2: observe under `Shared` for the configured window,
+    /// predict once at `t == T`, keep that strategy for the rest.
+    AdaptOnce,
+    /// Re-observe every `window_ns` and re-partition whenever the
+    /// prediction changes; the first window always runs `Shared`.
+    Periodic {
+        /// Re-observation window length in nanoseconds.
+        window_ns: u64,
+    },
+}
+
+/// One run session: the trace, the tenants' logical spaces, the mode, and
+/// an optional probe receiving the keeper's decision events plus every
+/// engine hook for the run.
+pub struct RunSpec<'a> {
+    /// The request trace to replay.
+    pub trace: &'a [IoRequest],
+    /// Per-tenant logical-space bounds (length = tenant count, 1..=4).
+    pub lpn_spaces: &'a [u64],
+    /// Allocation mode.
+    pub mode: RunMode,
+    /// Observability sink; `None` runs with the zero-cost [`NullProbe`].
+    pub probe: Option<&'a mut dyn Probe>,
+}
+
+impl<'a> RunSpec<'a> {
+    /// A fixed-strategy session.
+    pub fn fixed(trace: &'a [IoRequest], lpn_spaces: &'a [u64], strategy: Strategy) -> Self {
+        Self {
+            trace,
+            lpn_spaces,
+            mode: RunMode::Fixed(strategy),
+            probe: None,
+        }
+    }
+
+    /// An adapt-once (Algorithm 2) session.
+    pub fn adapt_once(trace: &'a [IoRequest], lpn_spaces: &'a [u64]) -> Self {
+        Self {
+            trace,
+            lpn_spaces,
+            mode: RunMode::AdaptOnce,
+            probe: None,
+        }
+    }
+
+    /// A periodic re-observation session.
+    pub fn periodic(trace: &'a [IoRequest], lpn_spaces: &'a [u64], window_ns: u64) -> Self {
+        Self {
+            trace,
+            lpn_spaces,
+            mode: RunMode::Periodic { window_ns },
+            probe: None,
+        }
+    }
+
+    /// Attaches a probe to the session.
+    pub fn with_probe(mut self, probe: &'a mut dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+}
+
+/// Result of a [`Keeper::run`] session, uniform across modes.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Simulator report for the full trace.
+    pub report: SimReport,
+    /// The strategy in effect at the end of the run: the fixed one, the
+    /// `t == T` prediction, or the last periodic decision (`Shared` when
+    /// a periodic run never decided).
+    pub strategy: Strategy,
+    /// Features behind the final decision; `None` for fixed runs and for
+    /// periodic runs that never saw a non-empty window.
+    pub features: Option<FeatureVector>,
+    /// Every strategy *change*, time-ordered. One entry for adapt-once,
+    /// empty for fixed runs.
+    pub decisions: Vec<Decision>,
+}
 
 /// Keeper configuration.
 #[derive(Debug, Clone)]
@@ -87,19 +214,104 @@ impl Keeper {
         &self.config
     }
 
-    /// Runs `trace` adaptively per Algorithm 2.
-    ///
-    /// `lpn_spaces` bound each tenant's logical footprint (up to four
-    /// tenants).
-    pub fn run_adaptive(
+    /// Runs one session per `spec` — the single entry point that subsumes
+    /// the deprecated `run_adaptive` / `run_adaptive_periodic` /
+    /// `run_static` trio. The mode selects the allocation policy; the
+    /// optional probe observes every engine hook plus the keeper's own
+    /// decision events (feature vector + predicted class probabilities).
+    pub fn run(&self, spec: RunSpec<'_>) -> Result<RunOutcome, KeeperError> {
+        if spec.lpn_spaces.is_empty() || spec.lpn_spaces.len() > TENANTS {
+            return Err(KeeperError::TenantCount {
+                got: spec.lpn_spaces.len(),
+            });
+        }
+        let RunSpec {
+            trace,
+            lpn_spaces,
+            mode,
+            probe,
+        } = spec;
+        let mut null = NullProbe;
+        let probe: &mut dyn Probe = match probe {
+            Some(p) => p,
+            None => &mut null,
+        };
+        match mode {
+            RunMode::Fixed(strategy) => self.run_fixed(trace, lpn_spaces, strategy, probe),
+            RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, probe),
+            RunMode::Periodic { window_ns } => {
+                self.run_periodic(trace, lpn_spaces, window_ns, probe)
+            }
+        }
+    }
+
+    /// The probe-facing form of a decision: network input vector plus the
+    /// predicted probability of every strategy class.
+    fn decision_event(
+        &self,
+        at_ns: u64,
+        features: &FeatureVector,
+        strategy: Strategy,
+    ) -> KeeperDecision {
+        let mut proba = [0.0f32; DECISION_CLASSES];
+        for (dst, src) in proba.iter_mut().zip(self.allocator.predict_proba(features)) {
+            *dst = src;
+        }
+        let input: [f32; DECISION_FEATURES] = features.to_input();
+        KeeperDecision {
+            at_ns,
+            strategy: strategy.index(TENANTS) as u16,
+            features: input,
+            proba,
+        }
+    }
+
+    /// Fixed strategy from `t = 0` (the baselines of Figure 5).
+    /// Characteristics for two-part grouping and hybrid policies are taken
+    /// from the observation window, as the adaptive run would see them.
+    fn run_fixed(
         &self,
         trace: &[IoRequest],
         lpn_spaces: &[u64],
-    ) -> Result<KeeperOutcome, SimError> {
-        assert!(
-            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
-            "1..=4 tenants supported"
-        );
+        strategy: Strategy,
+        probe: &mut dyn Probe,
+    ) -> Result<RunOutcome, KeeperError> {
+        let tenants = lpn_spaces.len();
+        let obs = ObservedFeatures::collect(trace, tenants, self.config.observe_window_ns);
+        let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
+        let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
+        let mut layout =
+            TenantLayout::from_channel_lists(&lists, &self.config.ssd).ok_or_else(|| {
+                KeeperError::Sim(SimError::BadLayout {
+                    reason: format!(
+                        "strategy {strategy:?} produced invalid channel lists {lists:?}"
+                    ),
+                })
+            })?;
+        let policies = hybrid::policies(&rw_chars, self.config.hybrid);
+        for (t, &space) in lpn_spaces.iter().enumerate() {
+            layout = layout.with_lpn_space(t, space).with_policy(t, policies[t]);
+        }
+        let report = SimBuilder::new(self.config.ssd.clone(), layout)
+            .probe(probe)
+            .build()?
+            .run(trace)?;
+        Ok(RunOutcome {
+            report,
+            strategy,
+            features: None,
+            decisions: Vec::new(),
+        })
+    }
+
+    /// Algorithm 2: observe under `Shared` over `[0, T)`, predict once at
+    /// `t == T`, re-partition for the rest of the run.
+    fn run_adapt_once(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+        probe: &mut dyn Probe,
+    ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
         let t_ns = self.config.observe_window_ns;
 
@@ -110,6 +322,7 @@ impl Keeper {
 
         // --- Strategy prediction at t == T. ---
         let strategy = self.allocator.predict(&features);
+        probe.on_keeper_decision(&self.decision_event(t_ns, &features, strategy));
         let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
         let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
 
@@ -119,8 +332,10 @@ impl Keeper {
             layout = layout.with_lpn_space(t, space);
         }
 
-        let mut sim = Simulator::new(self.config.ssd.clone(), layout)?;
         let policies = hybrid::policies(&rw_chars, self.config.hybrid);
+        let mut sim = SimBuilder::new(self.config.ssd.clone(), layout)
+            .probe(probe)
+            .build()?;
         sim.schedule_reallocation(Reallocation {
             at_ns: t_ns,
             entries: lists
@@ -130,34 +345,37 @@ impl Keeper {
                 .collect(),
         })?;
         let report = sim.run(trace)?;
-        Ok(KeeperOutcome {
+        let decisions = vec![Decision {
+            at_ns: t_ns,
+            features: features.clone(),
+            strategy,
+        }];
+        Ok(RunOutcome {
             report,
             strategy,
-            features,
+            features: Some(features),
+            decisions,
         })
     }
 
-    /// Runs `trace` with **periodic re-observation**: after every window
-    /// of `observe_window_ns`, the features of *that window* are fed to
-    /// the allocator and the channels are re-partitioned whenever the
-    /// prediction changes.
+    /// Periodic re-observation: after every window of `window_ns`, the
+    /// features of *that window* are fed to the allocator and the channels
+    /// are re-partitioned whenever the prediction changes.
     ///
     /// This is the natural extension of Algorithm 2 from one decision to a
     /// control loop ("self-adapting" over time): workloads whose mix
     /// drifts mid-run get re-matched instead of keeping the first
     /// decision forever. The first window always runs `Shared`, like the
     /// base algorithm.
-    pub fn run_adaptive_periodic(
+    fn run_periodic(
         &self,
         trace: &[IoRequest],
         lpn_spaces: &[u64],
-    ) -> Result<PeriodicOutcome, SimError> {
-        assert!(
-            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
-            "1..=4 tenants supported"
-        );
+        window_ns: u64,
+        probe: &mut dyn Probe,
+    ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
-        let t_ns = self.config.observe_window_ns;
+        let t_ns = window_ns;
         let horizon = trace.last().map(|r| r.arrival_ns).unwrap_or(0);
         let scale = IntensityScale::new(self.allocator.max_total_iops() * (t_ns as f64 / 1e9));
 
@@ -165,9 +383,11 @@ impl Keeper {
         for (t, &space) in lpn_spaces.iter().enumerate() {
             layout = layout.with_lpn_space(t, space);
         }
-        let mut sim = Simulator::new(self.config.ssd.clone(), layout)?;
 
-        let mut decisions = Vec::new();
+        // Decide every window first (decision events fire here, before any
+        // engine event), then hand the probe to the simulator for the run.
+        let mut reallocations: Vec<Reallocation> = Vec::new();
+        let mut decisions: Vec<Decision> = Vec::new();
         let mut current: Option<Strategy> = None;
         let mut boundary = t_ns;
         while boundary <= horizon.saturating_add(t_ns) {
@@ -182,14 +402,15 @@ impl Keeper {
                 let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
                 let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
                 let policies = hybrid::policies(&rw_chars, self.config.hybrid);
-                sim.schedule_reallocation(Reallocation {
+                reallocations.push(Reallocation {
                     at_ns: boundary,
                     entries: lists
                         .into_iter()
                         .enumerate()
                         .map(|(t, channels)| (t, channels, Some(policies[t])))
                         .collect(),
-                })?;
+                });
+                probe.on_keeper_decision(&self.decision_event(boundary, &features, strategy));
                 decisions.push(Decision {
                     at_ns: boundary,
                     features,
@@ -200,31 +421,95 @@ impl Keeper {
             boundary += t_ns;
         }
 
+        let mut sim = SimBuilder::new(self.config.ssd.clone(), layout)
+            .probe(probe)
+            .build()?;
+        for r in reallocations {
+            sim.schedule_reallocation(r)?;
+        }
         let report = sim.run(trace)?;
-        Ok(PeriodicOutcome { report, decisions })
+        Ok(RunOutcome {
+            report,
+            strategy: current.unwrap_or(Strategy::Shared),
+            features: decisions.last().map(|d| d.features.clone()),
+            decisions,
+        })
     }
 
-    /// Runs `trace` under a fixed strategy for the whole run (the
-    /// baselines of Figure 5). Characteristics for two-part grouping and
-    /// hybrid policies are taken from the observation window, as the
-    /// adaptive run would see them.
+    /// Runs `trace` adaptively per Algorithm 2.
+    ///
+    /// `lpn_spaces` bound each tenant's logical footprint (up to four
+    /// tenants).
+    #[deprecated(note = "use Keeper::run with RunSpec::adapt_once")]
+    pub fn run_adaptive(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+    ) -> Result<KeeperOutcome, SimError> {
+        assert!(
+            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
+            "1..=4 tenants supported"
+        );
+        let out = self
+            .run(RunSpec::adapt_once(trace, lpn_spaces))
+            .map_err(|e| match e {
+                KeeperError::Sim(e) => e,
+                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
+            })?;
+        Ok(KeeperOutcome {
+            report: out.report,
+            strategy: out.strategy,
+            features: out.features.expect("adapt-once always computes features"),
+        })
+    }
+
+    /// Runs `trace` with periodic re-observation every
+    /// `config.observe_window_ns`.
+    #[deprecated(note = "use Keeper::run with RunSpec::periodic")]
+    pub fn run_adaptive_periodic(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+    ) -> Result<PeriodicOutcome, SimError> {
+        assert!(
+            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
+            "1..=4 tenants supported"
+        );
+        let out = self
+            .run(RunSpec::periodic(
+                trace,
+                lpn_spaces,
+                self.config.observe_window_ns,
+            ))
+            .map_err(|e| match e {
+                KeeperError::Sim(e) => e,
+                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
+            })?;
+        Ok(PeriodicOutcome {
+            report: out.report,
+            decisions: out.decisions,
+        })
+    }
+
+    /// Runs `trace` under a fixed strategy for the whole run.
+    #[deprecated(note = "use Keeper::run with RunSpec::fixed")]
     pub fn run_static(
         &self,
         trace: &[IoRequest],
         strategy: Strategy,
         lpn_spaces: &[u64],
     ) -> Result<SimReport, SimError> {
-        let tenants = lpn_spaces.len();
-        let obs = ObservedFeatures::collect(trace, tenants, self.config.observe_window_ns);
-        let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
-        let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
-        let mut layout = TenantLayout::from_channel_lists(&lists, &self.config.ssd)
-            .expect("strategy assignments are valid");
-        let policies = hybrid::policies(&rw_chars, self.config.hybrid);
-        for (t, &space) in lpn_spaces.iter().enumerate() {
-            layout = layout.with_lpn_space(t, space).with_policy(t, policies[t]);
-        }
-        Simulator::new(self.config.ssd.clone(), layout)?.run(trace)
+        assert!(
+            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
+            "1..=4 tenants supported"
+        );
+        let out = self
+            .run(RunSpec::fixed(trace, lpn_spaces, strategy))
+            .map_err(|e| match e {
+                KeeperError::Sim(e) => e,
+                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
+            })?;
+        Ok(out.report)
     }
 }
 
@@ -270,11 +555,16 @@ mod tests {
     fn adaptive_run_completes_and_reports() {
         let keeper = untrained_keeper();
         let trace = four_tenant_trace(400);
-        let out = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
+        let out = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]))
+            .unwrap();
         assert_eq!(out.report.total.count as usize, trace.len());
         assert!(out.strategy.index(4) < 42);
         // Characteristics observed in the window match the spec dominances.
-        assert_eq!(out.features.rw_char, [0, 1, 0, 1]);
+        assert_eq!(out.features.as_ref().unwrap().rw_char, [0, 1, 0, 1]);
+        assert_eq!(out.decisions.len(), 1);
+        assert_eq!(out.decisions[0].at_ns, keeper.config().observe_window_ns);
+        assert_eq!(out.decisions[0].strategy, out.strategy);
     }
 
     #[test]
@@ -283,11 +573,15 @@ mod tests {
         // statically from t=0 must complete with the same request count.
         let keeper = untrained_keeper();
         let trace = four_tenant_trace(300);
-        let adaptive = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
-        let fixed = keeper
-            .run_static(&trace, adaptive.strategy, &[1 << 10; 4])
+        let adaptive = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]))
             .unwrap();
-        assert_eq!(fixed.total.count, adaptive.report.total.count);
+        let fixed = keeper
+            .run(RunSpec::fixed(&trace, &[1 << 10; 4], adaptive.strategy))
+            .unwrap();
+        assert_eq!(fixed.report.total.count, adaptive.report.total.count);
+        assert!(fixed.features.is_none());
+        assert!(fixed.decisions.is_empty());
     }
 
     #[test]
@@ -295,23 +589,45 @@ mod tests {
         let keeper = untrained_keeper();
         let trace = four_tenant_trace(300);
         for s in [Strategy::Shared, Strategy::Isolated] {
-            let report = keeper.run_static(&trace, s, &[1 << 10; 4]).unwrap();
-            assert_eq!(report.total.count as usize, trace.len());
+            let out = keeper
+                .run(RunSpec::fixed(&trace, &[1 << 10; 4], s))
+                .unwrap();
+            assert_eq!(out.report.total.count as usize, trace.len());
+            assert_eq!(out.strategy, s);
         }
     }
 
     #[test]
     fn empty_trace_is_fine() {
         let keeper = untrained_keeper();
-        let out = keeper.run_adaptive(&[], &[1 << 10; 4]).unwrap();
+        let out = keeper.run(RunSpec::adapt_once(&[], &[1 << 10; 4])).unwrap();
         assert_eq!(out.report.total.count, 0);
-        assert_eq!(out.features.intensity_level, 0);
+        assert_eq!(out.features.unwrap().intensity_level, 0);
+    }
+
+    #[test]
+    fn bad_tenant_counts_are_typed_errors() {
+        let keeper = untrained_keeper();
+        assert_eq!(
+            keeper.run(RunSpec::adapt_once(&[], &[64; 5])).unwrap_err(),
+            KeeperError::TenantCount { got: 5 }
+        );
+        assert_eq!(
+            keeper.run(RunSpec::adapt_once(&[], &[])).unwrap_err(),
+            KeeperError::TenantCount { got: 0 }
+        );
+        // Errors render and chain like std errors.
+        let err = KeeperError::TenantCount { got: 5 };
+        assert!(err.to_string().contains("tenant count 5"));
+        let err = KeeperError::Sim(SimError::EmptyRequest { index: 3 });
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
     #[should_panic(expected = "1..=4 tenants")]
-    fn too_many_tenants_rejected() {
+    fn deprecated_wrapper_preserves_panic_on_bad_tenants() {
         let keeper = untrained_keeper();
+        #[allow(deprecated)]
         let _ = keeper.run_adaptive(&[], &[64; 5]);
     }
 
@@ -319,7 +635,10 @@ mod tests {
     fn periodic_run_completes_and_records_decisions() {
         let keeper = untrained_keeper();
         let trace = four_tenant_trace(600);
-        let out = keeper.run_adaptive_periodic(&trace, &[1 << 10; 4]).unwrap();
+        let window = keeper.config().observe_window_ns;
+        let out = keeper
+            .run(RunSpec::periodic(&trace, &[1 << 10; 4], window))
+            .unwrap();
         assert_eq!(out.report.total.count as usize, trace.len());
         // At least the first non-empty window produces a decision; repeats
         // of the same prediction are coalesced.
@@ -333,16 +652,118 @@ mod tests {
         // Decisions are time-ordered at window boundaries.
         for w in out.decisions.windows(2) {
             assert!(w[0].at_ns < w[1].at_ns);
-            assert_eq!(w[0].at_ns % keeper.config().observe_window_ns, 0);
+            assert_eq!(w[0].at_ns % window, 0);
         }
+        // The outcome's final strategy is the last decision's.
+        assert_eq!(out.strategy, out.decisions.last().unwrap().strategy);
     }
 
     #[test]
     fn periodic_run_on_empty_trace_makes_no_decisions() {
         let keeper = untrained_keeper();
-        let out = keeper.run_adaptive_periodic(&[], &[1 << 10; 4]).unwrap();
+        let out = keeper
+            .run(RunSpec::periodic(&[], &[1 << 10; 4], 10_000_000))
+            .unwrap();
         assert!(out.decisions.is_empty());
         assert_eq!(out.report.total.count, 0);
+        assert_eq!(out.strategy, Strategy::Shared);
+        assert!(out.features.is_none());
+    }
+
+    #[test]
+    fn deprecated_wrappers_delegate_to_run() {
+        #![allow(deprecated)]
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(300);
+        let spaces = [1u64 << 10; 4];
+
+        let old = keeper.run_adaptive(&trace, &spaces).unwrap();
+        let new = keeper.run(RunSpec::adapt_once(&trace, &spaces)).unwrap();
+        assert_eq!(old.report, new.report);
+        assert_eq!(old.strategy, new.strategy);
+        assert_eq!(
+            format!("{:?}", old.features),
+            format!("{:?}", new.features.unwrap())
+        );
+
+        let old = keeper
+            .run_static(&trace, Strategy::Isolated, &spaces)
+            .unwrap();
+        let new = keeper
+            .run(RunSpec::fixed(&trace, &spaces, Strategy::Isolated))
+            .unwrap();
+        assert_eq!(old, new.report);
+
+        let old = keeper.run_adaptive_periodic(&trace, &spaces).unwrap();
+        let new = keeper
+            .run(RunSpec::periodic(
+                &trace,
+                &spaces,
+                keeper.config().observe_window_ns,
+            ))
+            .unwrap();
+        assert_eq!(old.report, new.report);
+        assert_eq!(old.decisions.len(), new.decisions.len());
+    }
+
+    #[test]
+    fn probe_receives_keeper_decisions() {
+        use flash_sim::probe::{EventRecorder, ProbeEvent};
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(400);
+        let mut rec = EventRecorder::with_capacity(1 << 14);
+        let out = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]).with_probe(&mut rec))
+            .unwrap();
+        let decisions: Vec<_> = rec
+            .to_vec()
+            .into_iter()
+            .filter_map(|e| match e {
+                ProbeEvent::Decision(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.at_ns, keeper.config().observe_window_ns);
+        assert_eq!(d.strategy as usize, out.strategy.index(4));
+        assert_eq!(d.features, out.features.unwrap().to_input());
+        // The class probabilities are a distribution with the argmax at
+        // the chosen strategy.
+        let sum: f32 = d.proba.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "proba sums to {sum}");
+        let argmax = d
+            .proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, d.strategy as usize);
+        // Engine events flowed through the same recorder.
+        assert!(rec
+            .to_vec()
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::CmdComplete(_))));
+        assert!(rec
+            .to_vec()
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::Realloc(_))));
+    }
+
+    #[test]
+    fn attached_recorder_does_not_change_the_report() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(400);
+        let bare = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]))
+            .unwrap();
+        let mut rec = flash_sim::EventRecorder::with_capacity(256);
+        let probed = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]).with_probe(&mut rec))
+            .unwrap();
+        assert_eq!(bare.report, probed.report);
+        assert!(!rec.is_empty());
     }
 
     #[test]

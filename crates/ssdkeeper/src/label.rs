@@ -8,7 +8,7 @@
 
 use crate::hybrid;
 use crate::strategy::Strategy;
-use flash_sim::{IoRequest, SimError, SimReport, Simulator, SsdConfig, TenantLayout};
+use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
 use parallel::PoolConfig;
 use workloads::ObservedFeatures;
 
@@ -64,13 +64,17 @@ pub fn run_under_strategy(
         "one char and space per tenant"
     );
     let lists = strategy.assign_channels(rw_chars, &eval.ssd);
-    let mut layout = TenantLayout::from_channel_lists(&lists, &eval.ssd)
-        .expect("strategy assignments are always valid channel lists");
+    let mut layout =
+        TenantLayout::from_channel_lists(&lists, &eval.ssd).ok_or_else(|| SimError::BadLayout {
+            reason: format!("strategy {strategy:?} produced invalid channel lists {lists:?}"),
+        })?;
     let policies = hybrid::policies(rw_chars, eval.hybrid);
     for (t, (&space, &policy)) in lpn_spaces.iter().zip(policies.iter()).enumerate() {
         layout = layout.with_lpn_space(t, space).with_policy(t, policy);
     }
-    Simulator::new(eval.ssd.clone(), layout)?.run(trace)
+    SimBuilder::new(eval.ssd.clone(), layout)
+        .build()?
+        .run(trace)
 }
 
 /// Evaluates every strategy in the `tenants`-tenant space on `trace`.

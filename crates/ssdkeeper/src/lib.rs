@@ -16,13 +16,16 @@
 //! * [`hybrid`] — the hybrid page allocator (static pages for
 //!   read-dominated tenants, dynamic for write-dominated);
 //! * [`keeper`] — Algorithm 2's online loop: observe under `Shared`,
-//!   predict at `t == T`, re-allocate channels mid-run.
+//!   predict at `t == T`, re-allocate channels mid-run — driven through
+//!   the unified [`keeper::RunSpec`] session API;
+//! * [`obs`] — the observability surface: probes, event recording, and
+//!   the persisted event codec (re-exported from [`flash_sim::probe`]).
 //!
 //! # End-to-end sketch
 //!
 //! ```no_run
 //! use ssdkeeper::learner::{DatasetSpec, Learner};
-//! use ssdkeeper::keeper::{Keeper, KeeperConfig};
+//! use ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 //! use flash_sim::SsdConfig;
 //!
 //! // Offline: generate labelled data and train the strategy model.
@@ -33,7 +36,7 @@
 //! // Online: drive a mixed trace through the adaptive FTL.
 //! let keeper = Keeper::new(KeeperConfig::default(), model.allocator());
 //! # let trace = vec![];
-//! let outcome = keeper.run_adaptive(&trace, &[1 << 14; 4]).unwrap();
+//! let outcome = keeper.run(RunSpec::adapt_once(&trace, &[1 << 14; 4])).unwrap();
 //! println!("chose {} -> {:.1} us", outcome.strategy, outcome.report.total_latency_metric_us());
 //! ```
 #![warn(missing_docs)]
@@ -46,9 +49,10 @@ pub mod keeper;
 pub mod label;
 pub mod learner;
 pub mod model_io;
+pub mod obs;
 pub mod strategy;
 
 pub use allocator::ChannelAllocator;
 pub use features::FeatureVector;
-pub use keeper::{Keeper, KeeperConfig};
+pub use keeper::{Keeper, KeeperConfig, KeeperError, RunMode, RunOutcome, RunSpec};
 pub use strategy::Strategy;

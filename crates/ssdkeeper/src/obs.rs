@@ -1,0 +1,56 @@
+//! Observability surface for keeper-driven runs.
+//!
+//! One import path for everything a probe-wielding caller needs: the
+//! [`Probe`] trait and its typed hook records, the bounded
+//! [`EventRecorder`] sink, the persisted SSDP event codec, and the
+//! session types that carry a probe into [`crate::keeper::Keeper::run`].
+//! The hook-point contract and overhead discipline live in
+//! [`flash_sim::probe`]'s module docs (and DESIGN.md).
+//!
+//! ```no_run
+//! use ssdkeeper::obs::{EventRecorder, RunSpec, encode_events};
+//! # use ssdkeeper::keeper::{Keeper, KeeperConfig};
+//! # use ssdkeeper::ChannelAllocator;
+//! # use ann::{Activation, Network};
+//! # let net = Network::paper_topology(Activation::Logistic, 5);
+//! # let keeper = Keeper::new(KeeperConfig::default(), ChannelAllocator::new(net, 120_000.0));
+//! # let trace = vec![];
+//! let mut rec = EventRecorder::with_capacity(1 << 16);
+//! let outcome = keeper
+//!     .run(RunSpec::adapt_once(&trace, &[1 << 14; 4]).with_probe(&mut rec))
+//!     .unwrap();
+//! let bytes = encode_events(rec.events(), rec.dropped());
+//! # let _ = (outcome, bytes);
+//! ```
+
+pub use crate::keeper::{KeeperError, RunMode, RunOutcome, RunSpec};
+pub use flash_sim::probe::{
+    decode_events, encode_events, BusAcquire, BusRelease, CmdComplete, CmdIssue, EventRecorder,
+    GcCollect, KeeperDecision, NullProbe, Probe, ProbeCodecError, ProbeEvent, ReallocApply,
+    DECISION_CLASSES, DECISION_FEATURES,
+};
+pub use flash_sim::{PhaseHist, PhaseReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_reexports_are_usable_together() {
+        // A recorder is a Probe; the codec round-trips its contents; the
+        // keeper session types are reachable from one module.
+        let mut rec = EventRecorder::with_capacity(4);
+        rec.on_bus_acquire(&BusAcquire {
+            at_ns: 1,
+            cmd: 0,
+            channel: 0,
+            waited_ns: 0,
+        });
+        let bytes = encode_events(rec.events(), rec.dropped());
+        let (events, dropped) = decode_events(&bytes).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(dropped, 0);
+        let _mode = RunMode::AdaptOnce;
+        let _null = NullProbe;
+    }
+}

@@ -6,7 +6,7 @@
 //! cargo run --release --example adaptive_datacenter
 //! ```
 
-use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper_repro::ssdkeeper::Strategy;
 use ssdkeeper_repro::workloads::msr::paper_mix_profiles;
@@ -64,12 +64,16 @@ fn main() {
 
     let lpn_spaces = [1u64 << 12; 4];
     let shared = keeper
-        .run_static(&trace, Strategy::Shared, &lpn_spaces)
-        .unwrap();
+        .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Shared))
+        .unwrap()
+        .report;
     let isolated = keeper
-        .run_static(&trace, Strategy::Isolated, &lpn_spaces)
+        .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Isolated))
+        .unwrap()
+        .report;
+    let adaptive = keeper
+        .run(RunSpec::adapt_once(&trace, &lpn_spaces))
         .unwrap();
-    let adaptive = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
 
     println!(
         "\n{:<22} {:>14} {:>14}",

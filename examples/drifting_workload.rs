@@ -1,15 +1,15 @@
 //! A drifting workload: the tenant mix flips mid-run (read-heavy phase,
 //! then write-heavy phase). A single Algorithm 2 decision commits to the
 //! first phase's pattern; the periodic controller
-//! ([`Keeper::run_adaptive_periodic`]) re-observes every window and
-//! re-partitions when the mix changes.
+//! ([`Keeper::run`] with `RunSpec::periodic`) re-observes every window
+//! and re-partitions when the mix changes.
 //!
 //! ```text
 //! cargo run --release --example drifting_workload
 //! ```
 
 use ssdkeeper_repro::flash_sim::IoRequest;
-use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper_repro::ssdkeeper::Strategy;
 use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
@@ -112,10 +112,19 @@ fn main() {
     );
 
     let shared = keeper
-        .run_static(&trace, Strategy::Shared, &lpn_spaces)
+        .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Shared))
+        .unwrap()
+        .report;
+    let single = keeper
+        .run(RunSpec::adapt_once(&trace, &lpn_spaces))
         .unwrap();
-    let single = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
-    let periodic = keeper.run_adaptive_periodic(&trace, &lpn_spaces).unwrap();
+    let periodic = keeper
+        .run(RunSpec::periodic(
+            &trace,
+            &lpn_spaces,
+            keeper.config().observe_window_ns,
+        ))
+        .unwrap();
 
     let base = shared.total_latency_metric_us();
     println!("\n{:<26} {:>12} {:>10}", "mode", "total (us)", "vs Shared");

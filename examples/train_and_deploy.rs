@@ -9,7 +9,7 @@
 //! Uses deliberately small counts so the whole pipeline finishes in about
 //! a minute; `exp --bin run_all` is the full-scale version.
 
-use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper_repro::ssdkeeper::ChannelAllocator;
 use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
@@ -64,9 +64,10 @@ fn main() {
 
     let keeper = Keeper::new(KeeperConfig::default(), allocator);
     let outcome = keeper
-        .run_adaptive(&trace, &[1 << 12; 4])
+        .run(RunSpec::adapt_once(&trace, &[1 << 12; 4]))
         .expect("adaptive run");
-    println!("\nobserved features at t=T: {}", outcome.features);
+    let features = outcome.features.as_ref().expect("adapt-once features");
+    println!("\nobserved features at t=T: {features}");
     println!("SSDKeeper chose: {}", outcome.strategy);
     println!(
         "total latency metric: {:.1} us (read {:.1}, write {:.1})",

@@ -4,10 +4,17 @@
 # repo root. The JSON keeps the first-ever run as the baseline, so every
 # later run reports its speedup against the committed starting point.
 #
+# The JSON also records a "phases" section: mean per-command time in each
+# simulated phase (unit wait, array op, bus wait, transfer, GC exec) plus
+# mean queue depth, from the median run's PhaseReport.
+#
 # Env knobs (all optional):
 #   SSDKEEPER_BENCH_ITERS   measured iterations  (default 10)
 #   SSDKEEPER_BENCH_WARMUP  warmup iterations    (default 2)
 #   SSDKEEPER_BENCH_JSON    output path          (default BENCH_sim.json)
+#   SSDKEEPER_BENCH_PROBE   =1 also measures the run with an EventRecorder
+#                           attached and prints the probe overhead vs the
+#                           NullProbe path (the <=2% discipline check)
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -19,6 +19,36 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
+# The deprecated keeper/simulator entry points stay only as migration
+# shims; new call sites must use Keeper::run(RunSpec) / SimBuilder. The
+# allowlist covers the shims' own definitions + tests and the probe-layer
+# equivalence test that compares old vs new on purpose.
+echo "==> deprecated-API call-site gate"
+deprecated_hits=$(grep -rnE \
+    '\.run_adaptive\(|\.run_adaptive_periodic\(|\.run_static\(|\.limit_cmd_slots\(' \
+    crates tests examples --include='*.rs' 2>/dev/null \
+    | grep -v '^crates/ssdkeeper/src/keeper\.rs:' \
+    | grep -v '^tests/probe_layer\.rs:' \
+    || true)
+if [ -n "$deprecated_hits" ]; then
+    echo "verify: FAIL - new call sites of deprecated APIs found:" >&2
+    echo "$deprecated_hits" >&2
+    echo "use Keeper::run(RunSpec::...) / SimBuilder::cmd_slot_limit instead." >&2
+    exit 1
+fi
+
+# BENCH=1 additionally smokes the probe-overhead path: the sim_throughput
+# bench with a recorder attached (SSDKEEPER_BENCH_PROBE=1), a few fast
+# iterations, JSON routed to target/ so the tracked BENCH_sim.json keeps
+# its committed numbers.
+if [ "${BENCH:-0}" != "0" ]; then
+    echo "==> probe-overhead bench smoke (SSDKEEPER_BENCH_PROBE=1)"
+    SSDKEEPER_BENCH_ITERS="${SSDKEEPER_BENCH_ITERS:-3}" \
+        SSDKEEPER_BENCH_PROBE=1 \
+        SSDKEEPER_BENCH_JSON="$(pwd)/target/bench_probe_smoke.json" \
+        sh scripts/bench.sh
+fi
+
 # Opt-in perf smoke pass: SSDKEEPER_BENCH_SMOKE=1 runs the tracked
 # sim_throughput bench with a few fast iterations. It exercises the
 # whole bench path (and refreshes BENCH_sim.json) without making the

@@ -3,7 +3,7 @@
 
 use ssdkeeper_repro::flash_sim::SsdConfig;
 use ssdkeeper_repro::parallel::PoolConfig;
-use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig};
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
 use ssdkeeper_repro::ssdkeeper::label::EvalConfig;
 use ssdkeeper_repro::ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper_repro::ssdkeeper::Strategy;
@@ -65,11 +65,14 @@ fn pipeline_produces_a_working_allocator() {
     .collect();
     let trace = mix_chronological(&streams, 6_000);
 
-    let outcome = keeper.run_adaptive(&trace, &[1 << 10; 4]).unwrap();
+    let outcome = keeper
+        .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]))
+        .unwrap();
     assert_eq!(outcome.report.total.count as usize, trace.len());
     assert!(outcome.strategy.index(4) < 42);
     // The observed characteristics must match the tenants' dominances.
-    assert_eq!(outcome.features.rw_char, [0, 1, 0, 1]);
+    let features = outcome.features.expect("adapt-once computes features");
+    assert_eq!(features.rw_char, [0, 1, 0, 1]);
 }
 
 #[test]

@@ -1,0 +1,284 @@
+//! Probe-layer guarantees, end to end:
+//!
+//! 1. Observation is free of observable effects — the golden determinism
+//!    fixtures produce byte-identical reports with `NullProbe` and with a
+//!    bounded `EventRecorder` attached.
+//! 2. The recorder's ring buffer drops oldest-first with a monotone drop
+//!    counter, and the persisted SSDP codec round-trips what remains.
+//! 3. The deprecated keeper entry points and the unified
+//!    `Keeper::run(RunSpec)` produce identical outcomes on a seeded
+//!    fig2-style workload (this file is allowlisted for the deprecated
+//!    calls in `scripts/verify.sh`).
+
+use ssdkeeper_repro::flash_sim::probe::{decode_events, encode_events};
+use ssdkeeper_repro::flash_sim::{
+    EventRecorder, IoRequest, Op, PageAllocPolicy, Probe, ProbeEvent, Reallocation, SimBuilder,
+    SimReport, Simulator, SsdConfig, TenantLayout,
+};
+use ssdkeeper_repro::ssdkeeper::keeper::{Keeper, KeeperConfig, RunSpec};
+use ssdkeeper_repro::ssdkeeper::{ChannelAllocator, Strategy};
+use ssdkeeper_repro::workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
+
+/// FNV-1a over the report's `Debug` rendering (the determinism suite's
+/// digest, duplicated here so the two test binaries stay independent).
+fn report_digest(report: &SimReport) -> u64 {
+    let text = format!("{report:?}");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The determinism suite's fixture A (GC + wear leveling + host queueing
+/// + mid-run reallocation), parameterized over an optional recorder.
+fn gc_wear_realloc_report(probe: Option<&mut EventRecorder>) -> SimReport {
+    let cfg = SsdConfig {
+        blocks_per_plane: 16,
+        pages_per_block: 16,
+        gc_free_block_threshold: 0.3,
+        wear_leveling_threshold: 4,
+        host_queue_depth: 8,
+        ..SsdConfig::paper_table1()
+    };
+    let streams: Vec<_> = [(0u16, 0.9, 5u64), (1u16, 0.2, 6u64)]
+        .iter()
+        .map(|&(tenant, write_ratio, seed)| {
+            let lpn_space = if tenant == 0 { 6144 } else { 3072 };
+            generate_tenant_stream(
+                &TenantSpec::synthetic(format!("t{tenant}"), write_ratio, 40_000.0, lpn_space),
+                tenant,
+                if tenant == 0 { 2_500 } else { 1_500 },
+                seed,
+            )
+        })
+        .collect();
+    let trace = mix_chronological(&streams, 4_000);
+    let layout = TenantLayout::shared(2, &cfg)
+        .with_lpn_space(0, 6144)
+        .with_lpn_space(1, 3072)
+        .with_policy(0, PageAllocPolicy::Dynamic);
+    let realloc = Reallocation {
+        at_ns: 30_000_000,
+        entries: vec![
+            (0, vec![0, 1, 2, 3], Some(PageAllocPolicy::Dynamic)),
+            (1, vec![4, 5, 6, 7], Some(PageAllocPolicy::Static)),
+        ],
+    };
+    let builder = SimBuilder::new(cfg, layout).precondition(&[1.0, 1.0]);
+    match probe {
+        Some(rec) => {
+            let mut sim = builder.probe(rec).build().unwrap();
+            sim.schedule_reallocation(realloc).unwrap();
+            sim.run(&trace).unwrap()
+        }
+        None => {
+            let mut sim = builder.build().unwrap();
+            sim.schedule_reallocation(realloc).unwrap();
+            sim.run(&trace).unwrap()
+        }
+    }
+}
+
+#[test]
+fn golden_digest_is_byte_identical_with_and_without_a_recorder() {
+    let bare = gc_wear_realloc_report(None);
+    let mut rec = EventRecorder::with_capacity(1 << 20);
+    let observed = gc_wear_realloc_report(Some(&mut rec));
+    assert_eq!(report_digest(&bare), report_digest(&observed));
+    assert_eq!(bare, observed);
+    // The recorder actually saw the run it did not perturb.
+    assert!(rec.len() > 0, "recorder captured no events");
+    assert_eq!(rec.dropped(), 0, "capacity was sized to capture everything");
+    let reallocs = rec
+        .events()
+        .filter(|e| matches!(e, ProbeEvent::Realloc(_)))
+        .count();
+    assert_eq!(reallocs, 2, "one ReallocApply per reallocation entry");
+}
+
+#[test]
+fn recorder_events_round_trip_through_the_codec() {
+    let mut rec = EventRecorder::with_capacity(1 << 20);
+    let _ = gc_wear_realloc_report(Some(&mut rec));
+    let bytes = encode_events(rec.events(), rec.dropped());
+    let (events, dropped) = decode_events(&bytes).unwrap();
+    assert_eq!(events.len(), rec.len());
+    assert_eq!(dropped, rec.dropped());
+    assert_eq!(events, rec.to_vec());
+}
+
+#[test]
+fn ring_buffer_overflow_drops_oldest_with_a_monotone_counter() {
+    let capacity = 64;
+    let mut rec = EventRecorder::with_capacity(capacity);
+    let _ = gc_wear_realloc_report(Some(&mut rec));
+    assert_eq!(rec.len(), capacity, "buffer filled to capacity");
+    assert!(rec.dropped() > 0, "fixture emits far more than 64 events");
+    // What remains is the newest suffix: timestamps still non-decreasing,
+    // and the first retained event is no older than anything dropped
+    // would have been (compare against a full capture).
+    let mut full = EventRecorder::with_capacity(1 << 20);
+    let _ = gc_wear_realloc_report(Some(&mut full));
+    assert_eq!(rec.dropped(), full.len() as u64 - capacity as u64);
+    let tail: Vec<_> = full.to_vec().split_off(full.len() - capacity);
+    assert_eq!(rec.to_vec(), tail, "retained events are the newest suffix");
+}
+
+/// A seeded fig2-style workload: four tenants with distinct read/write
+/// dominances at moderate intensity on a small device.
+fn fig2_style_trace() -> (Vec<IoRequest>, [u64; 4]) {
+    let specs = [
+        TenantSpec::synthetic("w-heavy", 0.95, 18_000.0, 1 << 10),
+        TenantSpec::synthetic("r-heavy", 0.05, 22_000.0, 1 << 10),
+        TenantSpec::synthetic("w-mid", 0.80, 9_000.0, 1 << 10),
+        TenantSpec::synthetic("r-mid", 0.20, 11_000.0, 1 << 10),
+    ];
+    let streams: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(t, s)| generate_tenant_stream(s, t as u16, 2_000, 1_234 + t as u64))
+        .collect();
+    (mix_chronological(&streams, 6_000), [1 << 10; 4])
+}
+
+fn small_keeper(hybrid: bool) -> Keeper {
+    let ssd = SsdConfig {
+        blocks_per_plane: 64,
+        pages_per_block: 32,
+        ..SsdConfig::paper_table1()
+    };
+    let net = ssdkeeper_repro::ann::Network::paper_topology(
+        ssdkeeper_repro::ann::Activation::Logistic,
+        3,
+    );
+    Keeper::new(
+        KeeperConfig {
+            ssd,
+            observe_window_ns: 10_000_000,
+            hybrid,
+        },
+        ChannelAllocator::new(net, 120_000.0),
+    )
+}
+
+#[test]
+#[allow(deprecated)]
+fn old_and_new_keeper_entry_points_agree_on_a_seeded_workload() {
+    let (trace, lpn_spaces) = fig2_style_trace();
+    for hybrid in [false, true] {
+        let keeper = small_keeper(hybrid);
+
+        let old_static = keeper
+            .run_static(&trace, Strategy::Isolated, &lpn_spaces)
+            .unwrap();
+        let new_static = keeper
+            .run(RunSpec::fixed(&trace, &lpn_spaces, Strategy::Isolated))
+            .unwrap();
+        assert_eq!(old_static, new_static.report);
+        assert_eq!(new_static.strategy, Strategy::Isolated);
+        assert!(new_static.features.is_none());
+        assert!(new_static.decisions.is_empty());
+
+        let old_adaptive = keeper.run_adaptive(&trace, &lpn_spaces).unwrap();
+        let new_adaptive = keeper
+            .run(RunSpec::adapt_once(&trace, &lpn_spaces))
+            .unwrap();
+        assert_eq!(old_adaptive.report, new_adaptive.report);
+        assert_eq!(old_adaptive.strategy, new_adaptive.strategy);
+        assert_eq!(
+            format!("{:?}", old_adaptive.features),
+            format!("{:?}", new_adaptive.features.as_ref().unwrap())
+        );
+
+        let old_periodic = keeper.run_adaptive_periodic(&trace, &lpn_spaces).unwrap();
+        let new_periodic = keeper
+            .run(RunSpec::periodic(
+                &trace,
+                &lpn_spaces,
+                keeper.config().observe_window_ns,
+            ))
+            .unwrap();
+        assert_eq!(old_periodic.report, new_periodic.report);
+        assert_eq!(old_periodic.decisions.len(), new_periodic.decisions.len());
+        for (o, n) in old_periodic.decisions.iter().zip(&new_periodic.decisions) {
+            assert_eq!(o.at_ns, n.at_ns);
+            assert_eq!(o.strategy, n.strategy);
+        }
+    }
+}
+
+#[test]
+fn keeper_session_with_probe_reports_identically_and_sees_decisions() {
+    let (trace, lpn_spaces) = fig2_style_trace();
+    let keeper = small_keeper(false);
+    let bare = keeper
+        .run(RunSpec::adapt_once(&trace, &lpn_spaces))
+        .unwrap();
+    let mut rec = EventRecorder::with_capacity(1 << 20);
+    let observed = keeper
+        .run(RunSpec::adapt_once(&trace, &lpn_spaces).with_probe(&mut rec))
+        .unwrap();
+    assert_eq!(bare.report, observed.report);
+    assert_eq!(bare.strategy, observed.strategy);
+    let decisions: Vec<_> = rec
+        .events()
+        .filter_map(|e| match e {
+            ProbeEvent::Decision(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(decisions.len(), 1, "adapt-once makes exactly one decision");
+    assert_eq!(decisions[0].at_ns, keeper.config().observe_window_ns);
+}
+
+#[test]
+fn legacy_simulator_construction_matches_the_builder() {
+    // `Simulator::new` + mutating precondition (the pre-builder idiom,
+    // still used by the determinism fixtures) and the fluent builder
+    // must construct bit-identical engines.
+    let cfg = SsdConfig {
+        gc_free_block_threshold: 0.25,
+        plane_parallelism: false,
+        host_queue_depth: 2,
+        ..SsdConfig::small_test()
+    };
+    let trace: Vec<IoRequest> = (0..1_500u64)
+        .map(|i| {
+            let op = if i % 5 == 4 { Op::Read } else { Op::Write };
+            IoRequest::new(i, 0, op, (i * 13) % 96, 1, i * 3_000)
+        })
+        .collect();
+    let layout = || TenantLayout::shared(1, &cfg).with_lpn_space_all(96);
+    let mut legacy = Simulator::new(cfg.clone(), layout()).unwrap();
+    legacy.precondition(&[0.75]).unwrap();
+    let legacy_report = legacy.run(&trace).unwrap();
+    let builder_report = SimBuilder::new(cfg.clone(), layout())
+        .precondition(&[0.75])
+        .build()
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+    assert_eq!(legacy_report, builder_report);
+}
+
+#[test]
+fn null_probe_is_a_zero_sized_default() {
+    // The no-probe simulator must not pay for the hook points: the
+    // default probe is a ZST the optimizer erases.
+    assert_eq!(
+        std::mem::size_of::<ssdkeeper_repro::flash_sim::NullProbe>(),
+        0
+    );
+    let mut p = ssdkeeper_repro::flash_sim::NullProbe;
+    // Hooks are callable with default empty bodies.
+    p.on_gc_collect(&ssdkeeper_repro::flash_sim::probe::GcCollect {
+        at_ns: 0,
+        plane: 0,
+        victim_block: 0,
+        moved_pages: 0,
+        erased_blocks: 0,
+        duration_ns: 0,
+    });
+}
