@@ -17,9 +17,18 @@
 //! in the `BENCH_sim.json` format: the first ever run records itself as
 //! the baseline; later runs keep the stored baseline and report the
 //! speedup against it, growing the repo's perf trajectory. The file also
-//! carries a `phases` section: mean per-command nanoseconds in each
-//! simulated phase (unit wait, array op, bus wait, transfer, GC) from the
-//! median run's [`flash_sim::PhaseReport`].
+//! carries a `phases` section: per-command nanoseconds in each simulated
+//! phase (unit wait, array op, bus wait, transfer, GC) from the median
+//! run's [`flash_sim::PhaseReport`] — mean plus p50/p99 from the log₂
+//! histograms, which `ssdtrace diff` compares across commits.
+//!
+//! The host queue is bounded (`host_queue_depth: 64`): with the earlier
+//! unbounded queue the whole 48 ms trace was admitted at once and drained
+//! over a ~31 s GC-limited makespan, so "mean unit wait" measured the
+//! ~5500-deep standing backlog (~11.5 s per command) instead of device
+//! behavior. A bounded queue keeps the generator honest — arrivals stall
+//! when the device is saturated — and makes the per-phase numbers
+//! interpretable while still keeping GC continuously active.
 //!
 //! `SSDKEEPER_BENCH_PROBE=1` additionally measures the same workload with
 //! a bounded [`flash_sim::EventRecorder`] attached and prints the probe
@@ -58,6 +67,7 @@ fn sim_micro_cfg() -> SsdConfig {
         pages_per_block: 16,
         gc_free_block_threshold: 0.6,
         wear_leveling_threshold: 64,
+        host_queue_depth: 64,
         ..SsdConfig::paper_table1()
     }
 }
@@ -205,26 +215,38 @@ fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64, phas
         _ => (events, median_ns, events_per_sec),
     };
     let speedup = events_per_sec / base_eps;
+    // One phase entry: mean plus log₂-bucketed p50/p99 (the tails
+    // `ssdtrace diff` holds the line on).
+    let phase = |h: &flash_sim::PhaseHist| {
+        format!(
+            "{{ \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {} }}",
+            h.mean(),
+            h.percentile(0.50),
+            h.percentile(0.99),
+        )
+    };
     // "phases" must stay after "current": json_number scans forward from
     // the first occurrence of the section name.
     let body = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"sim_micro\",\n  \
          \"requests\": {REQUESTS},\n  \"hot_lpns\": {HOT_LPNS},\n  \
-         \"geometry\": \"4ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages\",\n  \
+         \"geometry\": \"4ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages, qd 64\",\n  \
          \"baseline\": {{ \"events\": {base_events}, \"median_ns\": {base_median}, \
          \"events_per_sec\": {base_eps:.1} }},\n  \
          \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
          \"events_per_sec\": {events_per_sec:.1} }},\n  \
-         \"phases\": {{ \"wait_unit_mean_ns\": {:.1}, \"array_mean_ns\": {:.1}, \
-         \"wait_bus_mean_ns\": {:.1}, \"transfer_mean_ns\": {:.1}, \
-         \"gc_exec_mean_ns\": {:.1}, \"mean_queue_depth\": {:.2} }},\n  \
+         \"phases\": {{\n    \"wait_unit\": {},\n    \"array\": {},\n    \
+         \"wait_bus\": {},\n    \"transfer\": {},\n    \"gc_exec\": {},\n    \
+         \"queue_depth\": {{ \"mean\": {:.2}, \"p50\": {}, \"p99\": {} }}\n  }},\n  \
          \"speedup_vs_baseline\": {speedup:.3}\n}}\n",
-        phases.wait_unit.mean(),
-        phases.array.mean(),
-        phases.wait_bus.mean(),
-        phases.transfer.mean(),
-        phases.gc_exec.mean(),
+        phase(&phases.wait_unit),
+        phase(&phases.array),
+        phase(&phases.wait_bus),
+        phase(&phases.transfer),
+        phase(&phases.gc_exec),
         phases.queue_depth.mean(),
+        phases.queue_depth.percentile(0.50),
+        phases.queue_depth.percentile(0.99),
     );
     std::fs::write(path, body).expect("write BENCH json");
     println!("sim_throughput: wrote {path} (speedup vs baseline: {speedup:.3}x)");

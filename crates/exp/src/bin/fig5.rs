@@ -15,7 +15,9 @@
 //! little-endian codec (`ssdkeeper::obs::decode_events` reads it back).
 
 use exp::args::Args;
-use exp::fig5::{build_mix, render_fig5, render_summary, render_tables45, run, Fig5Config};
+use exp::fig5::{
+    build_mix, render_fig5, render_percentiles, render_summary, render_tables45, run, Fig5Config,
+};
 use ssdkeeper::keeper::{Keeper, KeeperConfig};
 use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper::obs::{encode_events, EventRecorder, RunSpec};
@@ -67,6 +69,7 @@ fn main() {
     let results = run(&cfg, &allocator);
     println!("{}", render_tables45(&results));
     println!("{}", render_fig5(&results));
+    println!("{}", render_percentiles(&results));
     println!("{}", render_summary(&results));
 
     if let Some(path) = args.get_opt("trace-out") {

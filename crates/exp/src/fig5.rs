@@ -223,6 +223,47 @@ pub fn render_fig5(results: &[MixResult]) -> String {
     out
 }
 
+/// Renders the per-tenant read/write latency percentile table for the
+/// SSDKeeper steady run next to the Shared baseline's tails. Percentiles
+/// come from the reports' log₂ histograms (upper bucket edge, so values
+/// err high by at most 2×) — the same estimator `ssdtrace summarize`
+/// applies to captures.
+pub fn render_percentiles(results: &[MixResult]) -> String {
+    let tails = |s: &flash_sim::LatencyStats| {
+        format!(
+            "{}/{}/{}",
+            f2(s.percentile_ns(0.50) as f64 / 1_000.0),
+            f2(s.percentile_ns(0.95) as f64 / 1_000.0),
+            f2(s.percentile_ns(0.99) as f64 / 1_000.0),
+        )
+    };
+    let mut t = Table::new(&[
+        "mix",
+        "tenant",
+        "read p50/p95/p99 (us)",
+        "write p50/p95/p99 (us)",
+        "Shared read p99",
+        "Shared write p99",
+    ]);
+    for r in results {
+        for (tenant, tr) in r.keeper.tenants.iter().enumerate() {
+            let shared = &r.shared.tenants[tenant];
+            t.row(vec![
+                r.name.to_string(),
+                format!("t{tenant}"),
+                tails(&tr.read),
+                tails(&tr.write),
+                f2(shared.read.percentile_ns(0.99) as f64 / 1_000.0),
+                f2(shared.write.percentile_ns(0.99) as f64 / 1_000.0),
+            ]);
+        }
+    }
+    format!(
+        "Per-tenant latency percentiles, SSDKeeper steady run (log2-bucketed)\n{}",
+        t.render()
+    )
+}
+
 /// The §V-C headline numbers: per-mix improvement over Shared, the mean
 /// over the mixes where SSDKeeper re-allocates, and the hybrid delta.
 pub fn render_summary(results: &[MixResult]) -> String {
@@ -325,5 +366,9 @@ mod tests {
         assert!(f.contains("Figure 5(c)"));
         let s = render_summary(&results);
         assert!(s.contains("mean hybrid"));
+        let p = render_percentiles(&results);
+        assert!(p.contains("p50/p95/p99"));
+        // One row per (mix, tenant) plus the header lines.
+        assert!(p.matches("Mix1").count() == 4 && p.matches("t3").count() == 4);
     }
 }

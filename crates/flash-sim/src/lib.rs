@@ -45,6 +45,7 @@ pub mod config;
 pub mod event;
 pub mod ftl;
 pub mod geometry;
+pub mod metrics;
 pub mod probe;
 pub mod request;
 pub mod scheduler;
@@ -56,7 +57,8 @@ pub mod trace;
 pub use config::SsdConfig;
 pub use ftl::alloc::PageAllocPolicy;
 pub use geometry::{Geometry, PhysAddr};
-pub use probe::{EventRecorder, NullProbe, Probe, ProbeEvent};
+pub use metrics::{MetricsProbe, MetricsSummary};
+pub use probe::{replay, EventRecorder, NullProbe, Probe, ProbeEvent, Tee};
 pub use request::{IoRequest, Op};
 pub use sim::{Reallocation, SimBuilder, SimError, Simulator};
 pub use stats::{LatencyStats, PhaseHist, PhaseReport, SimReport, TenantReport};

@@ -53,6 +53,9 @@ pub struct CmdIssue {
     pub at_ns: u64,
     /// Arena id of the command (recycled between commands).
     pub cmd: CmdId,
+    /// Tenant the command serves; GC commands carry the tenant whose
+    /// write triggered the pass, so internal work is attributable.
+    pub tenant: u16,
     /// Scheduling class.
     pub class: CmdClass,
     /// Whether this is an internal GC command.
@@ -72,6 +75,9 @@ pub struct CmdComplete {
     pub at_ns: u64,
     /// Arena id of the command.
     pub cmd: CmdId,
+    /// Tenant the command served; GC commands carry the tenant whose
+    /// write triggered the pass.
+    pub tenant: u16,
     /// Scheduling class.
     pub class: CmdClass,
     /// Whether this was an internal GC command.
@@ -224,6 +230,85 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     }
 }
 
+/// Fans every hook out to two probes, `a` first. Lets a caller attach an
+/// ad-hoc sink (say an [`EventRecorder`]) *and* a streaming aggregator
+/// (say [`crate::metrics::MetricsProbe`]) to the same run; with both
+/// sides [`NullProbe`] the whole thing still optimizes to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tee<A, B> {
+    /// First receiver of every hook.
+    pub a: A,
+    /// Second receiver of every hook.
+    pub b: B,
+}
+
+impl<A: Probe, B: Probe> Tee<A, B> {
+    /// Combines two probes into one.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: Probe, B: Probe> Probe for Tee<A, B> {
+    #[inline]
+    fn on_cmd_issue(&mut self, ev: &CmdIssue) {
+        self.a.on_cmd_issue(ev);
+        self.b.on_cmd_issue(ev);
+    }
+    #[inline]
+    fn on_cmd_complete(&mut self, ev: &CmdComplete) {
+        self.a.on_cmd_complete(ev);
+        self.b.on_cmd_complete(ev);
+    }
+    #[inline]
+    fn on_bus_acquire(&mut self, ev: &BusAcquire) {
+        self.a.on_bus_acquire(ev);
+        self.b.on_bus_acquire(ev);
+    }
+    #[inline]
+    fn on_bus_release(&mut self, ev: &BusRelease) {
+        self.a.on_bus_release(ev);
+        self.b.on_bus_release(ev);
+    }
+    #[inline]
+    fn on_gc_collect(&mut self, ev: &GcCollect) {
+        self.a.on_gc_collect(ev);
+        self.b.on_gc_collect(ev);
+    }
+    #[inline]
+    fn on_realloc(&mut self, ev: &ReallocApply) {
+        self.a.on_realloc(ev);
+        self.b.on_realloc(ev);
+    }
+    #[inline]
+    fn on_keeper_decision(&mut self, ev: &KeeperDecision) {
+        self.a.on_keeper_decision(ev);
+        self.b.on_keeper_decision(ev);
+    }
+}
+
+/// Replays recorded events into a probe, in order. This is how offline
+/// consumers (`ssdtrace`) drive the same streaming aggregators a live
+/// run would: capture → [`decode_events`] → `replay` into a
+/// [`crate::metrics::MetricsProbe`].
+pub fn replay<'a, I, P>(events: I, probe: &mut P)
+where
+    I: IntoIterator<Item = &'a ProbeEvent>,
+    P: Probe + ?Sized,
+{
+    for ev in events {
+        match ev {
+            ProbeEvent::CmdIssue(e) => probe.on_cmd_issue(e),
+            ProbeEvent::CmdComplete(e) => probe.on_cmd_complete(e),
+            ProbeEvent::BusAcquire(e) => probe.on_bus_acquire(e),
+            ProbeEvent::BusRelease(e) => probe.on_bus_release(e),
+            ProbeEvent::GcCollect(e) => probe.on_gc_collect(e),
+            ProbeEvent::Realloc(e) => probe.on_realloc(e),
+            ProbeEvent::Decision(e) => probe.on_keeper_decision(e),
+        }
+    }
+}
+
 /// One recorded hook invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeEvent {
@@ -287,7 +372,11 @@ impl EventRecorder {
         self.buf.push_back(ev);
     }
 
-    /// Retained events, oldest first.
+    /// Retained events, **oldest first** — this holds across any number
+    /// of overflow/wraparound cycles: after the ring evicts, iteration
+    /// still starts at the oldest *surviving* event and walks forward in
+    /// emission order. [`EventRecorder::dropped`] tells how many events
+    /// preceded the first one yielded here.
     pub fn events(&self) -> impl Iterator<Item = &ProbeEvent> {
         self.buf.iter()
     }
@@ -312,7 +401,9 @@ impl EventRecorder {
         self.capacity
     }
 
-    /// Total events evicted since construction (monotone).
+    /// Total events evicted since construction. Monotone: it never
+    /// resets or decreases, across any number of overflow cycles, so two
+    /// snapshots of the same recorder can be diffed for loss.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -343,22 +434,27 @@ impl Probe for EventRecorder {
 }
 
 // ---------------------------------------------------------------------------
-// SSDP v1: the persisted form of a recording.
+// SSDP v2: the persisted form of a recording.
 //
 // Format (little-endian, hand-rolled, layout frozen like SSDT v1):
 //
 //   magic   u32 = 0x53534450 ("SSDP")
-//   version u32 = 1
+//   version u32 = 2
 //   count   u64   retained events
 //   dropped u64   recorder drop counter at write time
 //   count × { kind u8, payload (fixed size per kind) }
 //
+// v2 added a `tenant` u16 to CmdIssue and CmdComplete (after `cmd`) so
+// offline analysis can attribute latency and GC work per tenant; v1
+// streams are rejected with `BadVersion` — re-capture, the producer and
+// consumer ship in the same workspace.
+//
 // Payloads (field order = struct order above; CmdClass as u8 0=read
 // 1=write; bool as u8):
-//   kind 0 CmdIssue    at u64, cmd u32, class u8, gc u8, unit u32,
-//                      channel u16, queue_depth u32          (24 bytes)
-//   kind 1 CmdComplete at u64, cmd u32, class u8, gc u8, unit u32,
-//                      channel u16, latency u64              (28 bytes)
+//   kind 0 CmdIssue    at u64, cmd u32, tenant u16, class u8, gc u8,
+//                      unit u32, channel u16, queue_depth u32 (26 bytes)
+//   kind 1 CmdComplete at u64, cmd u32, tenant u16, class u8, gc u8,
+//                      unit u32, channel u16, latency u64    (30 bytes)
 //   kind 2 BusAcquire  at u64, cmd u32, channel u16, waited u64 (22)
 //   kind 3 BusRelease  at u64, cmd u32, channel u16, held u64   (22)
 //   kind 4 GcCollect   at u64, plane u32, victim u32, moved u32,
@@ -369,7 +465,7 @@ impl Probe for EventRecorder {
 // ---------------------------------------------------------------------------
 
 const MAGIC: u32 = 0x5353_4450;
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 4 + 4 + 8 + 8;
 
 /// Errors from [`decode_events`].
@@ -450,6 +546,7 @@ where
                 body.push(0);
                 body.extend_from_slice(&e.at_ns.to_le_bytes());
                 body.extend_from_slice(&e.cmd.to_le_bytes());
+                body.extend_from_slice(&e.tenant.to_le_bytes());
                 body.push(class_byte(e.class));
                 body.push(e.gc as u8);
                 body.extend_from_slice(&e.unit.to_le_bytes());
@@ -460,6 +557,7 @@ where
                 body.push(1);
                 body.extend_from_slice(&e.at_ns.to_le_bytes());
                 body.extend_from_slice(&e.cmd.to_le_bytes());
+                body.extend_from_slice(&e.tenant.to_le_bytes());
                 body.push(class_byte(e.class));
                 body.push(e.gc as u8);
                 body.extend_from_slice(&e.unit.to_le_bytes());
@@ -568,8 +666,8 @@ impl<'a> Reader<'a> {
 /// Payload size in bytes for each event kind.
 fn payload_bytes(kind: u8) -> Result<usize, ProbeCodecError> {
     Ok(match kind {
-        0 => 24,
-        1 => 28,
+        0 => 26,
+        1 => 30,
         2 | 3 => 22,
         4 => 32,
         5 => 20,
@@ -614,6 +712,7 @@ pub fn decode_events(buf: &[u8]) -> Result<(Vec<ProbeEvent>, u64), ProbeCodecErr
             0 => ProbeEvent::CmdIssue(CmdIssue {
                 at_ns: r.u64(),
                 cmd: r.u32(),
+                tenant: r.u16(),
                 class: class_of(r.u8())?,
                 gc: r.u8() != 0,
                 unit: r.u32(),
@@ -623,6 +722,7 @@ pub fn decode_events(buf: &[u8]) -> Result<(Vec<ProbeEvent>, u64), ProbeCodecErr
             1 => ProbeEvent::CmdComplete(CmdComplete {
                 at_ns: r.u64(),
                 cmd: r.u32(),
+                tenant: r.u16(),
                 class: class_of(r.u8())?,
                 gc: r.u8() != 0,
                 unit: r.u32(),
@@ -704,6 +804,7 @@ mod tests {
             ProbeEvent::CmdIssue(CmdIssue {
                 at_ns: 10,
                 cmd: 1,
+                tenant: 2,
                 class: CmdClass::Read,
                 gc: false,
                 unit: 3,
@@ -725,6 +826,7 @@ mod tests {
             ProbeEvent::CmdComplete(CmdComplete {
                 at_ns: 30,
                 cmd: 1,
+                tenant: 2,
                 class: CmdClass::Read,
                 gc: false,
                 unit: 3,
@@ -785,6 +887,61 @@ mod tests {
         assert_eq!(rec.to_vec(), evs[4..].to_vec());
     }
 
+    /// Satellite contract: after any number of full overflow cycles the
+    /// ring still iterates oldest-first and the drop counter is the exact
+    /// monotone count of evictions.
+    #[test]
+    fn wraparound_keeps_oldest_first_order_across_many_cycles() {
+        let capacity = 5;
+        let mut rec = EventRecorder::with_capacity(capacity);
+        let total = 4 * capacity + 3; // several complete wrap cycles
+        let mut last_dropped = 0;
+        for i in 0..total as u64 {
+            rec.push(ProbeEvent::BusAcquire(BusAcquire {
+                at_ns: i,
+                cmd: i as u32,
+                channel: 0,
+                waited_ns: 0,
+            }));
+            assert!(rec.dropped() >= last_dropped, "dropped must be monotone");
+            assert!(
+                rec.dropped() - last_dropped <= 1,
+                "each push evicts at most one event"
+            );
+            last_dropped = rec.dropped();
+            // Invariant after every push: events() is oldest-first and
+            // contiguous — at_ns values are consecutive and end at i.
+            let ats: Vec<u64> = rec.events().map(|e| e.at_ns()).collect();
+            for (k, &at) in ats.iter().enumerate() {
+                assert_eq!(at, i + 1 - ats.len() as u64 + k as u64);
+            }
+        }
+        assert_eq!(rec.dropped(), (total - capacity) as u64);
+        assert_eq!(rec.len(), capacity);
+    }
+
+    #[test]
+    fn tee_forwards_every_hook_to_both_probes() {
+        let mut tee = Tee::new(
+            EventRecorder::with_capacity(16),
+            EventRecorder::with_capacity(16),
+        );
+        replay(&sample_events(), &mut tee);
+        assert_eq!(tee.a.to_vec(), sample_events());
+        assert_eq!(tee.b.to_vec(), sample_events());
+    }
+
+    #[test]
+    fn replay_reconstructs_a_recording() {
+        // decode → replay into a fresh recorder == the original recording.
+        let evs = sample_events();
+        let bytes = encode_events(&evs, 0);
+        let (decoded, _) = decode_events(&bytes).unwrap();
+        let mut rec = EventRecorder::with_capacity(decoded.len());
+        replay(&decoded, &mut rec);
+        assert_eq!(rec.to_vec(), evs);
+    }
+
     #[test]
     fn zero_capacity_is_clamped_to_one() {
         let mut rec = EventRecorder::with_capacity(0);
@@ -802,6 +959,7 @@ mod tests {
         rec.on_cmd_issue(&CmdIssue {
             at_ns: 1,
             cmd: 0,
+            tenant: 0,
             class: CmdClass::Write,
             gc: true,
             unit: 0,
@@ -853,7 +1011,7 @@ mod tests {
     }
 
     /// Golden bytes: the exact on-disk image of one small recording. Pins
-    /// the SSDP v1 layout — byte order, field order, per-kind payloads —
+    /// the SSDP v2 layout — byte order, field order, per-kind payloads —
     /// so codec refactors cannot silently orphan persisted recordings.
     #[test]
     fn golden_bytes_are_stable() {
@@ -863,6 +1021,16 @@ mod tests {
                 cmd: 7,
                 channel: 3,
                 waited_ns: 9,
+            }),
+            ProbeEvent::CmdIssue(CmdIssue {
+                at_ns: 0x04,
+                cmd: 6,
+                tenant: 2,
+                class: CmdClass::Write,
+                gc: true,
+                unit: 8,
+                channel: 1,
+                queue_depth: 0x0B,
             }),
             ProbeEvent::Realloc(ReallocApply {
                 at_ns: 0x0A,
@@ -875,8 +1043,8 @@ mod tests {
         let expected: Vec<u8> = vec![
             // header
             0x50, 0x44, 0x53, 0x53,                         // magic "SSDP" LE
-            0x01, 0x00, 0x00, 0x00,                         // version 1
-            0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
+            0x02, 0x00, 0x00, 0x00,                         // version 2
+            0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 3
             0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // dropped 5
             // record 0: BusAcquire at=0x102 cmd=7 channel=3 waited=9
             0x02,
@@ -884,7 +1052,18 @@ mod tests {
             0x07, 0x00, 0x00, 0x00,
             0x03, 0x00,
             0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-            // record 1: Realloc at=10 tenant=1 policy=2 pad mask=0xF0
+            // record 1: CmdIssue at=4 cmd=6 tenant=2 class=W gc=1 unit=8
+            //           channel=1 queue_depth=11
+            0x00,
+            0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x06, 0x00, 0x00, 0x00,
+            0x02, 0x00,
+            0x01,
+            0x01,
+            0x08, 0x00, 0x00, 0x00,
+            0x01, 0x00,
+            0x0B, 0x00, 0x00, 0x00,
+            // record 2: Realloc at=10 tenant=1 policy=2 pad mask=0xF0
             0x05,
             0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
             0x01, 0x00,
@@ -921,8 +1100,8 @@ mod tests {
             ProbeCodecError::BadKind(99)
         );
         let mut bytes = encode_events(&evs[..1], 0);
-        // CmdIssue class byte: kind(1) + at(8) + cmd(4) = offset 13.
-        bytes[HEADER_BYTES + 13] = 7;
+        // CmdIssue class byte: kind(1) + at(8) + cmd(4) + tenant(2) = 15.
+        bytes[HEADER_BYTES + 15] = 7;
         assert_eq!(
             decode_events(&bytes).unwrap_err(),
             ProbeCodecError::BadField {

@@ -64,6 +64,8 @@ enum Phase {
 #[derive(Debug, Clone, Copy)]
 struct Cmd {
     req: ReqId,
+    /// Tenant served; GC commands carry the triggering write's tenant.
+    tenant: u16,
     class: CmdClass,
     /// Array-execution unit index (plane or die, per
     /// `SsdConfig::plane_parallelism`).
@@ -604,7 +606,16 @@ impl<P: Probe> Simulator<P> {
                     let addr = self.ftl.translate_read(io.tenant, lpn, &self.layout)?;
                     let unit = self.unit_of_plane(self.geo.plane_index(&addr)) as u32;
                     let channel = addr.channel;
-                    self.spawn_cmd(req, CmdClass::Read, unit, channel, Phase::ArrayRead, 0, now)?;
+                    self.spawn_cmd(
+                        req,
+                        io.tenant,
+                        CmdClass::Read,
+                        unit,
+                        channel,
+                        Phase::ArrayRead,
+                        0,
+                        now,
+                    )?;
                 }
             }
             Op::Write => {
@@ -633,6 +644,7 @@ impl<P: Probe> Simulator<P> {
                     let channel = outcome.addr.channel;
                     self.spawn_cmd(
                         req,
+                        io.tenant,
                         CmdClass::Write,
                         unit,
                         channel,
@@ -653,6 +665,7 @@ impl<P: Probe> Simulator<P> {
                         });
                         self.spawn_cmd(
                             NO_REQ,
+                            io.tenant,
                             CmdClass::Write,
                             gc_unit,
                             gc_channel,
@@ -676,6 +689,7 @@ impl<P: Probe> Simulator<P> {
     fn spawn_cmd(
         &mut self,
         req: ReqId,
+        tenant: u16,
         class: CmdClass,
         unit: u32,
         channel: u16,
@@ -685,6 +699,7 @@ impl<P: Probe> Simulator<P> {
     ) -> Result<(), SimError> {
         let cmd = Cmd {
             req,
+            tenant,
             class,
             unit,
             channel,
@@ -717,6 +732,7 @@ impl<P: Probe> Simulator<P> {
         self.probe.on_cmd_issue(&CmdIssue {
             at_ns: now,
             cmd: id,
+            tenant,
             class,
             gc: req == NO_REQ,
             unit,
@@ -927,6 +943,7 @@ impl<P: Probe> Simulator<P> {
         self.probe.on_cmd_complete(&CmdComplete {
             at_ns: now,
             cmd: cmd_id,
+            tenant: cmd.tenant,
             class: cmd.class,
             gc: req == NO_REQ,
             unit: cmd.unit,

@@ -208,6 +208,28 @@ impl PhaseHist {
             self.sum_ns as f64 / self.count as f64
         }
     }
+
+    /// Approximate percentile (0.0..=1.0) from the log₂ buckets, using the
+    /// same convention as [`LatencyStats::percentile_ns`]: the upper edge
+    /// `1 << i` of the bucket containing the quantile, so the estimate errs
+    /// high by at most 2×. Bucket 0 (samples equal to 0) reports 0, and an
+    /// empty histogram reports 0 for every quantile. Samples clamped into
+    /// the last bucket report its edge `1 << 31`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (PHASE_BUCKETS - 1)
+    }
 }
 
 /// Where simulated time goes, histogrammed per phase — the report-level
@@ -477,6 +499,82 @@ mod tests {
         assert_eq!(b.count, 4);
         assert_eq!(b.buckets[7], 2);
         assert_eq!(PhaseHist::default().mean(), 0.0);
+    }
+
+    /// Exact percentile values on a hand-built histogram where every
+    /// bucket boundary is known.
+    #[test]
+    fn phase_percentile_exact_on_hand_built_histogram() {
+        let mut h = PhaseHist::default();
+        // 10 samples of 0 (bucket 0), 10 of 3 (bucket 2, edge 4),
+        // 10 of 1000 (bucket 10, edge 1024).
+        for _ in 0..10 {
+            h.record(0);
+            h.record(3);
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.0), 0); // target clamps to first sample
+        assert_eq!(h.percentile(0.10), 0);
+        assert_eq!(h.percentile(1.0 / 3.0), 0); // exactly the 10th sample
+        assert_eq!(h.percentile(0.34), 4);
+        assert_eq!(h.percentile(2.0 / 3.0), 4);
+        assert_eq!(h.percentile(0.67), 1024);
+        assert_eq!(h.percentile(1.0), 1024);
+        assert_eq!(PhaseHist::default().percentile(0.5), 0);
+
+        // A sample clamped into the last bucket reports its edge.
+        let mut big = PhaseHist::default();
+        big.record(u64::MAX);
+        assert_eq!(big.percentile(1.0), 1u64 << (PHASE_BUCKETS - 1));
+    }
+
+    /// Percentile is monotone in q for arbitrary seeded histograms.
+    #[test]
+    fn phase_percentile_monotone_in_q() {
+        for seed in 0..48u64 {
+            let mut rng = SimRng::seed_from_u64(7_000 + seed);
+            let mut h = PhaseHist::default();
+            for _ in 0..rng.gen_range(1usize..300) {
+                h.record(rng.gen_range(0u64..5_000_000_000));
+            }
+            let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+            let ps: Vec<u64> = qs.iter().map(|&q| h.percentile(q)).collect();
+            for w in ps.windows(2) {
+                assert!(w[0] <= w[1], "seed {seed}: {ps:?}");
+            }
+        }
+    }
+
+    /// The bucketed estimate agrees with a sorted-sample reference to
+    /// within one log₂ bucket: true_value <= estimate < 2 * true_value
+    /// (with the zero bucket handled exactly).
+    #[test]
+    fn phase_percentile_within_one_bucket_of_sorted_reference() {
+        for seed in 0..24u64 {
+            let mut rng = SimRng::seed_from_u64(9_000 + seed);
+            let samples: Vec<u64> = (0..rng.gen_range(50usize..400))
+                .map(|_| rng.gen_range(0u64..2_000_000))
+                .collect();
+            let mut h = PhaseHist::default();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+                let target = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+                let truth = sorted[target - 1];
+                let est = h.percentile(q);
+                if truth == 0 {
+                    assert_eq!(est, 0, "seed {seed} q {q}");
+                } else {
+                    assert!(
+                        est >= truth && est <= truth.saturating_mul(2),
+                        "seed {seed} q {q}: truth {truth}, estimate {est}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@ use crate::allocator::ChannelAllocator;
 use crate::features::{FeatureVector, TENANTS};
 use crate::hybrid;
 use crate::strategy::Strategy;
-use flash_sim::probe::{KeeperDecision, NullProbe, Probe, DECISION_CLASSES, DECISION_FEATURES};
+use flash_sim::metrics::{MetricsProbe, MetricsSummary};
+use flash_sim::probe::{
+    KeeperDecision, NullProbe, Probe, Tee, DECISION_CLASSES, DECISION_FEATURES,
+};
 use flash_sim::sim::Reallocation;
 use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
 use workloads::{IntensityScale, ObservedFeatures};
@@ -86,6 +89,11 @@ pub struct RunSpec<'a> {
     pub mode: RunMode,
     /// Observability sink; `None` runs with the zero-cost [`NullProbe`].
     pub probe: Option<&'a mut dyn Probe>,
+    /// Whether to aggregate a [`MetricsSummary`] for the session (an
+    /// internal [`MetricsProbe`] tees off the same hook stream the
+    /// `probe` sees). Off by default: sessions that don't ask pay
+    /// nothing.
+    pub collect_metrics: bool,
 }
 
 impl<'a> RunSpec<'a> {
@@ -96,6 +104,7 @@ impl<'a> RunSpec<'a> {
             lpn_spaces,
             mode: RunMode::Fixed(strategy),
             probe: None,
+            collect_metrics: false,
         }
     }
 
@@ -106,6 +115,7 @@ impl<'a> RunSpec<'a> {
             lpn_spaces,
             mode: RunMode::AdaptOnce,
             probe: None,
+            collect_metrics: false,
         }
     }
 
@@ -116,12 +126,20 @@ impl<'a> RunSpec<'a> {
             lpn_spaces,
             mode: RunMode::Periodic { window_ns },
             probe: None,
+            collect_metrics: false,
         }
     }
 
     /// Attaches a probe to the session.
     pub fn with_probe(mut self, probe: &'a mut dyn Probe) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Asks the session to aggregate a [`MetricsSummary`] (exposed as
+    /// [`RunOutcome::metrics`]); composes with [`RunSpec::with_probe`].
+    pub fn with_metrics(mut self) -> Self {
+        self.collect_metrics = true;
         self
     }
 }
@@ -141,6 +159,11 @@ pub struct RunOutcome {
     /// Every strategy *change*, time-ordered. One entry for adapt-once,
     /// empty for fixed runs.
     pub decisions: Vec<Decision>,
+    /// Streaming metrics summary; `Some` iff the spec asked via
+    /// [`RunSpec::with_metrics`]. The timeline window is the keeper's
+    /// `observe_window_ns`, so throughput buckets line up with decision
+    /// boundaries.
+    pub metrics: Option<MetricsSummary>,
 }
 
 /// Keeper configuration.
@@ -230,12 +253,31 @@ impl Keeper {
             lpn_spaces,
             mode,
             probe,
+            collect_metrics,
         } = spec;
         let mut null = NullProbe;
         let probe: &mut dyn Probe = match probe {
             Some(p) => p,
             None => &mut null,
         };
+        if collect_metrics {
+            let mut metrics = MetricsProbe::new(self.config.observe_window_ns);
+            let mut tee = Tee::new(probe, &mut metrics);
+            let mut out = self.dispatch(trace, lpn_spaces, mode, &mut tee)?;
+            out.metrics = Some(metrics.into_summary());
+            Ok(out)
+        } else {
+            self.dispatch(trace, lpn_spaces, mode, probe)
+        }
+    }
+
+    fn dispatch(
+        &self,
+        trace: &[IoRequest],
+        lpn_spaces: &[u64],
+        mode: RunMode,
+        probe: &mut dyn Probe,
+    ) -> Result<RunOutcome, KeeperError> {
         match mode {
             RunMode::Fixed(strategy) => self.run_fixed(trace, lpn_spaces, strategy, probe),
             RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, probe),
@@ -301,6 +343,7 @@ impl Keeper {
             strategy,
             features: None,
             decisions: Vec::new(),
+            metrics: None,
         })
     }
 
@@ -355,6 +398,7 @@ impl Keeper {
             strategy,
             features: Some(features),
             decisions,
+            metrics: None,
         })
     }
 
@@ -433,6 +477,7 @@ impl Keeper {
             strategy: current.unwrap_or(Strategy::Shared),
             features: decisions.last().map(|d| d.features.clone()),
             decisions,
+            metrics: None,
         })
     }
 
@@ -764,6 +809,55 @@ mod tests {
             .unwrap();
         assert_eq!(bare.report, probed.report);
         assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn metrics_are_off_by_default_and_on_by_request() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(400);
+        let bare = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]))
+            .unwrap();
+        assert!(bare.metrics.is_none());
+        let observed = keeper
+            .run(RunSpec::adapt_once(&trace, &[1 << 10; 4]).with_metrics())
+            .unwrap();
+        assert_eq!(bare.report, observed.report, "metrics must not perturb");
+        let m = observed.metrics.unwrap();
+        // The summary's channel busy time is the same accounting the
+        // report keeps — the probe stream carries the whole truth.
+        for (c, &busy) in observed.report.bus_busy_ns.iter().enumerate() {
+            let probed = m.channels.get(c).map(|cm| cm.busy_ns).unwrap_or(0);
+            assert_eq!(probed, busy, "channel {c}");
+        }
+        assert_eq!(m.tenants.len(), 4);
+        assert!(m.host_reads() > 0 && m.host_writes() > 0);
+        // Timeline windows use the keeper's observation window.
+        assert_eq!(m.window_ns, keeper.config().observe_window_ns);
+        assert!(!m.timeline.is_empty());
+    }
+
+    #[test]
+    fn metrics_compose_with_an_attached_probe() {
+        let keeper = untrained_keeper();
+        let trace = four_tenant_trace(300);
+        let mut rec = flash_sim::EventRecorder::with_capacity(1 << 14);
+        let out = keeper
+            .run(
+                RunSpec::adapt_once(&trace, &[1 << 10; 4])
+                    .with_probe(&mut rec)
+                    .with_metrics(),
+            )
+            .unwrap();
+        let m = out.metrics.unwrap();
+        assert!(!rec.is_empty(), "user probe still sees the stream");
+        // The recorder captured everything, so replaying it into a fresh
+        // aggregator reproduces the keeper's own summary (modulo the
+        // decision events MetricsProbe ignores anyway).
+        assert_eq!(rec.dropped(), 0);
+        let mut offline = flash_sim::MetricsProbe::new(keeper.config().observe_window_ns);
+        flash_sim::replay(rec.events(), &mut offline);
+        assert_eq!(offline.into_summary(), m);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //!
 //! One import path for everything a probe-wielding caller needs: the
 //! [`Probe`] trait and its typed hook records, the bounded
-//! [`EventRecorder`] sink, the persisted SSDP event codec, and the
-//! session types that carry a probe into [`crate::keeper::Keeper::run`].
-//! The hook-point contract and overhead discipline live in
-//! [`flash_sim::probe`]'s module docs (and DESIGN.md).
+//! [`EventRecorder`] sink, the persisted SSDP event codec, the streaming
+//! [`MetricsProbe`] aggregator with its [`MetricsSummary`] snapshot (plus
+//! the [`Tee`] combinator and offline [`replay`] that connect the two
+//! worlds), and the session types that carry a probe into
+//! [`crate::keeper::Keeper::run`]. The hook-point contract and overhead
+//! discipline live in [`flash_sim::probe`]'s module docs (and DESIGN.md).
 //!
 //! ```no_run
 //! use ssdkeeper::obs::{EventRecorder, RunSpec, encode_events};
@@ -24,10 +26,13 @@
 //! ```
 
 pub use crate::keeper::{KeeperError, RunMode, RunOutcome, RunSpec};
+pub use flash_sim::metrics::{
+    ChannelMetrics, GcMetrics, MetricsProbe, MetricsSummary, TenantMetrics, WindowSample,
+};
 pub use flash_sim::probe::{
-    decode_events, encode_events, BusAcquire, BusRelease, CmdComplete, CmdIssue, EventRecorder,
-    GcCollect, KeeperDecision, NullProbe, Probe, ProbeCodecError, ProbeEvent, ReallocApply,
-    DECISION_CLASSES, DECISION_FEATURES,
+    decode_events, encode_events, replay, BusAcquire, BusRelease, CmdComplete, CmdIssue,
+    EventRecorder, GcCollect, KeeperDecision, NullProbe, Probe, ProbeCodecError, ProbeEvent,
+    ReallocApply, Tee, DECISION_CLASSES, DECISION_FEATURES,
 };
 pub use flash_sim::{PhaseHist, PhaseReport};
 
@@ -52,5 +57,31 @@ mod tests {
         assert_eq!(dropped, 0);
         let _mode = RunMode::AdaptOnce;
         let _null = NullProbe;
+
+        // The metrics layer composes with all of the above from this one
+        // module: tee a recorder with a streaming aggregator, then replay
+        // the recording into a second aggregator and get the same summary.
+        let mut live = MetricsProbe::new(0);
+        let mut tee = Tee::new(&mut rec, &mut live);
+        tee.on_bus_release(&BusRelease {
+            at_ns: 9,
+            cmd: 0,
+            channel: 0,
+            held_ns: 8,
+        });
+        let mut offline = MetricsProbe::new(0);
+        replay(rec.events(), &mut offline);
+        let summary: MetricsSummary = offline.into_summary();
+        // The recorder also holds the BusAcquire the live probe missed.
+        assert_eq!(summary.channels[0].busy_ns, 8);
+        assert_eq!(summary.channels[0].acquires, 1);
+        assert_eq!(live.summary().channels[0].acquires, 0);
+        let _: &ChannelMetrics = &summary.channels[0];
+        let _ = (
+            TenantMetrics::default(),
+            GcMetrics::default(),
+            WindowSample::default(),
+        );
+        assert_eq!(summary.write_amplification(), 1.0);
     }
 }

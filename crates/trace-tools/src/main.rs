@@ -1,0 +1,174 @@
+//! `ssdtrace` — analyze `.ssdp` probe captures and diff perf reports.
+//!
+//! ```text
+//! ssdtrace summarize <capture.ssdp> [--json|--csv] [--window-ns N]
+//! ssdtrace timeline  <capture.ssdp> [--window-ns N]
+//! ssdtrace diff      <old.json> <new.json> [--threshold FRAC]
+//! ssdtrace sample    <out.ssdp>
+//! ```
+//!
+//! Exit codes: 0 success (and no regressions for `diff`), 1 regressions
+//! found, 2 usage / I/O / decode errors.
+
+use trace_tools::{
+    decode_capture, diff_texts, render_csv, render_json, render_text, sample_capture, summarize,
+    timeline_csv,
+};
+
+const USAGE: &str = "\
+ssdtrace — analyze SSDP probe captures and diff perf reports
+
+USAGE:
+    ssdtrace summarize <capture.ssdp> [--json|--csv] [--window-ns N]
+        Per-tenant latency percentiles, per-channel utilization, and GC
+        amplification. Default output is a text table.
+
+    ssdtrace timeline <capture.ssdp> [--window-ns N]
+        Time-bucketed CSV of throughput, queue depth, and GC activity.
+        Default window: 10000000 ns (10 ms).
+
+    ssdtrace diff <old> <new> [--threshold FRAC]
+        Compare two reports (summarize --json output or BENCH_sim.json).
+        Latency percentiles/means regress upward, events_per_sec
+        regresses downward; past FRAC (default 0.10) the exit code is 1.
+
+    ssdtrace sample <out.ssdp>
+        Write the deterministic miniature capture the golden-summary
+        check in scripts/verify.sh is built on.
+";
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("ssdtrace: {msg}");
+    2
+}
+
+fn load_summary_input(path: &str, window_ns: u64) -> Result<(flash_sim::MetricsSummary, u64), i32> {
+    let bytes = std::fs::read(path).map_err(|e| fail(format_args!("{path}: {e}")))?;
+    let cap = decode_capture(&bytes).map_err(|e| fail(format_args!("{path}: {e}")))?;
+    Ok((summarize(&cap.events, window_ns), cap.dropped))
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<Option<T>, i32> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(fail(format_args!("{flag} needs a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        value
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| fail(format_args!("invalid {flag} value: {value}")))
+    } else {
+        Ok(None)
+    }
+}
+
+fn run(mut args: Vec<String>) -> i32 {
+    let Some(cmd) = args.first().cloned() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    args.remove(0);
+    match cmd.as_str() {
+        "summarize" => {
+            let window_ns = match parse_flag::<u64>(&mut args, "--window-ns") {
+                Ok(v) => v.unwrap_or(0),
+                Err(code) => return code,
+            };
+            let json = args.iter().any(|a| a == "--json");
+            let csv = args.iter().any(|a| a == "--csv");
+            args.retain(|a| a != "--json" && a != "--csv");
+            let [path] = args.as_slice() else {
+                return fail("summarize takes exactly one capture path");
+            };
+            if json && csv {
+                return fail("--json and --csv are mutually exclusive");
+            }
+            let (summary, dropped) = match load_summary_input(path, window_ns) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            if json {
+                print!("{}", render_json(&summary, dropped));
+            } else if csv {
+                print!("{}", render_csv(&summary));
+            } else {
+                print!("{}", render_text(&summary, dropped));
+            }
+            0
+        }
+        "timeline" => {
+            let window_ns = match parse_flag::<u64>(&mut args, "--window-ns") {
+                Ok(v) => v.unwrap_or(10_000_000),
+                Err(code) => return code,
+            };
+            if window_ns == 0 {
+                return fail("--window-ns must be nonzero for timeline");
+            }
+            let [path] = args.as_slice() else {
+                return fail("timeline takes exactly one capture path");
+            };
+            match load_summary_input(path, window_ns) {
+                Ok((summary, _)) => {
+                    print!("{}", timeline_csv(&summary));
+                    0
+                }
+                Err(code) => code,
+            }
+        }
+        "diff" => {
+            let threshold = match parse_flag::<f64>(&mut args, "--threshold") {
+                Ok(v) => v.unwrap_or(0.10),
+                Err(code) => return code,
+            };
+            if !(0.0..=10.0).contains(&threshold) {
+                return fail("--threshold must be a fraction like 0.10");
+            }
+            let [old_path, new_path] = args.as_slice() else {
+                return fail("diff takes exactly two report paths");
+            };
+            let old = match std::fs::read_to_string(old_path) {
+                Ok(t) => t,
+                Err(e) => return fail(format_args!("{old_path}: {e}")),
+            };
+            let new = match std::fs::read_to_string(new_path) {
+                Ok(t) => t,
+                Err(e) => return fail(format_args!("{new_path}: {e}")),
+            };
+            let diff = match diff_texts(&old, &new, threshold) {
+                Ok(d) => d,
+                Err(e) => return fail(e),
+            };
+            print!("{}", diff.render());
+            let regressions = diff.regressions().count();
+            if regressions > 0 {
+                eprintln!(
+                    "ssdtrace: {regressions} regression(s) past {:.0}% threshold",
+                    threshold * 100.0
+                );
+                1
+            } else {
+                0
+            }
+        }
+        "sample" => {
+            let [path] = args.as_slice() else {
+                return fail("sample takes exactly one output path");
+            };
+            match std::fs::write(path, sample_capture()) {
+                Ok(()) => 0,
+                Err(e) => fail(format_args!("{path}: {e}")),
+            }
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            0
+        }
+        other => fail(format_args!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}

@@ -19,6 +19,25 @@ else
     echo "==> cargo fmt not installed; skipping format check"
 fi
 
+# Golden-summary gate: the deterministic miniature capture must
+# summarize to byte-identical JSON. Catches unintended changes to the
+# simulator's timing, the probe stream, the SSDP codec, or the ssdtrace
+# renderers — any intentional change regenerates the golden (see the
+# instructions printed on failure).
+echo "==> ssdtrace golden-summary check"
+golden_dir="$(pwd)/target/ssdtrace_golden"
+mkdir -p "$golden_dir"
+./target/release/ssdtrace sample "$golden_dir/sample.ssdp"
+./target/release/ssdtrace summarize --json "$golden_dir/sample.ssdp" \
+    > "$golden_dir/summary.json"
+if ! cmp -s "$golden_dir/summary.json" tests/golden/ssdtrace_summary.json; then
+    echo "verify: FAIL - ssdtrace summary diverged from tests/golden/ssdtrace_summary.json" >&2
+    diff -u tests/golden/ssdtrace_summary.json "$golden_dir/summary.json" >&2 || true
+    echo "If this change is intentional, regenerate the golden with:" >&2
+    echo "  target/release/ssdtrace sample \$t.ssdp && target/release/ssdtrace summarize --json \$t.ssdp > tests/golden/ssdtrace_summary.json" >&2
+    exit 1
+fi
+
 # The deprecated keeper/simulator entry points stay only as migration
 # shims; new call sites must use Keeper::run(RunSpec) / SimBuilder. The
 # allowlist covers the shims' own definitions + tests and the probe-layer

@@ -126,6 +126,46 @@ fn ring_buffer_overflow_drops_oldest_with_a_monotone_counter() {
     assert_eq!(rec.to_vec(), tail, "retained events are the newest suffix");
 }
 
+/// Per-phase accounting sanity: a single command cannot spend longer in
+/// any phase than the whole run took, so every per-command phase mean
+/// (and, up to the log₂ bucket edge, every percentile) is bounded by the
+/// makespan. This is the regression guard for the old BENCH_sim.json
+/// `wait_unit_mean_ns` confusion: the number was real but measured an
+/// unbounded open-loop backlog, and a unit-accounting bug (summing over
+/// queued commands, dividing by the wrong denominator) would blow past
+/// this bound immediately.
+#[test]
+fn phase_means_are_bounded_by_the_makespan_per_command() {
+    let report = gc_wear_realloc_report(None);
+    let makespan = report.makespan_ns;
+    assert!(makespan > 0);
+    let phases = &report.phases;
+    for (name, h) in [
+        ("wait_unit", &phases.wait_unit),
+        ("array", &phases.array),
+        ("wait_bus", &phases.wait_bus),
+        ("transfer", &phases.transfer),
+        ("gc_exec", &phases.gc_exec),
+    ] {
+        assert!(
+            h.mean() <= makespan as f64,
+            "{name}: mean {} exceeds makespan {makespan}",
+            h.mean()
+        );
+        // The percentile estimator returns the upper bucket edge, which
+        // errs high by at most 2x over the largest true sample.
+        assert!(
+            h.percentile(1.0) <= makespan.saturating_mul(2),
+            "{name}: p100 {} exceeds 2x makespan {makespan}",
+            h.percentile(1.0)
+        );
+    }
+    // Host queueing in this fixture is bounded (qd 8), so commands are
+    // admitted against backpressure and waits stay well under the
+    // makespan — the regime the sim_micro bench now also runs in.
+    assert!(phases.wait_unit.count > 0);
+}
+
 /// A seeded fig2-style workload: four tenants with distinct read/write
 /// dominances at moderate intensity on a small device.
 fn fig2_style_trace() -> (Vec<IoRequest>, [u64; 4]) {
