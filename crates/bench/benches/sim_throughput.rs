@@ -1,51 +1,50 @@
-//! Simulator throughput in events per second.
+//! Simulator throughput in events per second — the tracked perf gate.
 //!
-//! The `sim_micro` workload is the repo's tracked perf gate: a
-//! preconditioned device in GC steady state — the regime every real SSD
-//! spends its life in — driven by hot overwrites so the garbage collector
-//! runs continuously while reads keep the full command pipeline busy.
+//! Three workloads exercise the event core from different directions:
+//!
+//! * `sim_micro` — the original gate: a preconditioned device in GC
+//!   steady state (the regime every real SSD spends its life in), a 3:1
+//!   write:read mix over a hot region so the garbage collector runs
+//!   continuously while reads keep the full command pipeline busy.
+//! * `gc_heavy` — an overwrite storm on a narrow hot region of a
+//!   2-channel device: almost every write triggers victim selection and
+//!   page movement, so the run is dominated by GC commands and die-queue
+//!   churn (the worst case for the event queue's completion traffic).
+//! * `read_mostly_8ch` — a 7:1 read:write mix striped over all eight of
+//!   the paper's channels: shallow per-die queues, high channel
+//!   parallelism, and short service times make this the regime with the
+//!   highest event rate per unit of simulated time.
+//!
 //! Device construction and preconditioning happen outside the timed
 //! region; the measurement covers exactly `Simulator::run`, i.e. the
 //! discrete-event hot path the ROADMAP says must run "as fast as the
-//! hardware allows".
+//! hardware allows". Events/sec uses `SimReport::events_processed`
+//! (deterministic for a given trace) over the **median** wall time of the
+//! measured iterations, so the metric is robust to scheduling noise.
 //!
-//! Events/sec uses `SimReport::events_processed` (deterministic for a
-//! given trace) over the **median** wall time of the measured iterations,
-//! so the metric is robust to scheduling noise.
+//! When `SSDKEEPER_BENCH_JSON` names a file, the results are written
+//! there in the `BENCH_sim.json` format: one entry per workload, each
+//! with a `baseline` (the first run ever recorded for that workload —
+//! kept verbatim on later runs so the speedup is always measured against
+//! the committed starting point), a `current` section, and a `phases`
+//! section with per-command nanoseconds in each simulated phase from the
+//! median run's [`flash_sim::PhaseReport`] — mean plus p50/p99 from the
+//! log₂ histograms, which `ssdtrace diff` compares across commits.
 //!
-//! When `SSDKEEPER_BENCH_JSON` names a file, the result is written there
-//! in the `BENCH_sim.json` format: the first ever run records itself as
-//! the baseline; later runs keep the stored baseline and report the
-//! speedup against it, growing the repo's perf trajectory. The file also
-//! carries a `phases` section: per-command nanoseconds in each simulated
-//! phase (unit wait, array op, bus wait, transfer, GC) from the median
-//! run's [`flash_sim::PhaseReport`] — mean plus p50/p99 from the log₂
-//! histograms, which `ssdtrace diff` compares across commits.
+//! The host queue is bounded (`host_queue_depth: 64`) on every workload:
+//! with an unbounded queue the whole trace is admitted at once and the
+//! per-phase numbers measure the standing backlog instead of device
+//! behavior (see the PR 4 note in DESIGN.md).
 //!
-//! The host queue is bounded (`host_queue_depth: 64`): with the earlier
-//! unbounded queue the whole 48 ms trace was admitted at once and drained
-//! over a ~31 s GC-limited makespan, so "mean unit wait" measured the
-//! ~5500-deep standing backlog (~11.5 s per command) instead of device
-//! behavior. A bounded queue keeps the generator honest — arrivals stall
-//! when the device is saturated — and makes the per-phase numbers
-//! interpretable while still keeping GC continuously active.
-//!
-//! `SSDKEEPER_BENCH_PROBE=1` additionally measures the same workload with
-//! a bounded [`flash_sim::EventRecorder`] attached and prints the probe
+//! `SSDKEEPER_BENCH_PROBE=1` additionally measures `sim_micro` with a
+//! bounded [`flash_sim::EventRecorder`] attached and prints the probe
 //! overhead relative to the `NullProbe` run — the number the probe
 //! layer's ≤2 % discipline is checked against.
 
 use bench::harness::black_box;
 use flash_sim::{EventRecorder, IoRequest, Op, PhaseReport, SimBuilder, SsdConfig, TenantLayout};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-
-/// Requests in the sim_micro trace.
-const REQUESTS: u64 = 24_000;
-/// Logical pages preconditioned onto the device (fills it close to the
-/// GC trigger so collection is active from the first measured write).
-const LPN_SPACE: u64 = 54_400;
-/// Hot region repeatedly overwritten/re-read during the measured run.
-const HOT_LPNS: u64 = 4_096;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -54,11 +53,23 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Table I timings on a tall plane: few planes, many blocks each, so the
-/// per-plane GC work (victim selection, wear bookkeeping) dominates the
-/// way it does at production block counts (Table I: 4096 blocks/plane).
-fn sim_micro_cfg() -> SsdConfig {
-    SsdConfig {
+/// One benchmark workload: a device configuration plus a trace.
+struct Workload {
+    name: &'static str,
+    geometry: &'static str,
+    cfg: SsdConfig,
+    lpn_space: u64,
+    trace: Vec<IoRequest>,
+}
+
+/// The original tracked gate: Table I timings on tall planes (few
+/// planes, many blocks each, so per-plane GC work dominates the way it
+/// does at production block counts), 3:1 write:read over a 4 Ki hot
+/// region, 2 µs apart.
+fn sim_micro() -> Workload {
+    const REQUESTS: u64 = 24_000;
+    const HOT_LPNS: u64 = 4_096;
+    let cfg = SsdConfig {
         channels: 4,
         chips_per_channel: 1,
         dies_per_chip: 1,
@@ -69,18 +80,91 @@ fn sim_micro_cfg() -> SsdConfig {
         wear_leveling_threshold: 64,
         host_queue_depth: 64,
         ..SsdConfig::paper_table1()
-    }
-}
-
-/// 3:1 write:read mix over a hot region, page-sized requests, 2 µs apart.
-fn sim_micro_trace() -> Vec<IoRequest> {
-    (0..REQUESTS)
+    };
+    let trace = (0..REQUESTS)
         .map(|i| {
             let op = if i % 4 == 3 { Op::Read } else { Op::Write };
             let lpn = (i * 131) % HOT_LPNS;
             IoRequest::new(i, 0, op, lpn, 1, i * 2_000)
         })
-        .collect()
+        .collect();
+    Workload {
+        name: "sim_micro",
+        geometry: "4ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages, qd 64",
+        cfg,
+        lpn_space: 54_400,
+        trace,
+    }
+}
+
+/// GC storm: a 2-channel device with the same tall planes, 7:1
+/// write:read hammering a 1 Ki hot region. Nearly every host write lands
+/// on already-written LPNs, so victim selection, page movement, and the
+/// composite GC die charges dominate the event stream.
+fn gc_heavy() -> Workload {
+    const REQUESTS: u64 = 16_000;
+    const HOT_LPNS: u64 = 1_024;
+    let cfg = SsdConfig {
+        channels: 2,
+        chips_per_channel: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 2_048,
+        pages_per_block: 16,
+        gc_free_block_threshold: 0.6,
+        wear_leveling_threshold: 64,
+        host_queue_depth: 64,
+        ..SsdConfig::paper_table1()
+    };
+    let trace = (0..REQUESTS)
+        .map(|i| {
+            let op = if i % 8 == 7 { Op::Read } else { Op::Write };
+            let lpn = (i * 131) % HOT_LPNS;
+            IoRequest::new(i, 0, op, lpn, 1, i * 2_000)
+        })
+        .collect();
+    Workload {
+        name: "gc_heavy",
+        geometry: "2ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages, qd 64",
+        cfg,
+        lpn_space: 27_200,
+        trace,
+    }
+}
+
+/// The paper's full 8-channel fan-out under a 7:1 read:write mix striding
+/// the whole logical space: short array reads and wide channel
+/// parallelism produce the highest event rate per simulated second, with
+/// just enough writes to keep the program/GC paths warm.
+fn read_mostly_8ch() -> Workload {
+    const REQUESTS: u64 = 24_000;
+    const SPAN: u64 = 32_768;
+    let cfg = SsdConfig {
+        channels: 8,
+        chips_per_channel: 1,
+        dies_per_chip: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 512,
+        pages_per_block: 16,
+        gc_free_block_threshold: 0.3,
+        wear_leveling_threshold: 64,
+        host_queue_depth: 64,
+        ..SsdConfig::paper_table1()
+    };
+    let trace = (0..REQUESTS)
+        .map(|i| {
+            let op = if i % 8 == 7 { Op::Write } else { Op::Read };
+            let lpn = (i * 131) % SPAN;
+            IoRequest::new(i, 0, op, lpn, 1, i * 1_000)
+        })
+        .collect();
+    Workload {
+        name: "read_mostly_8ch",
+        geometry: "8ch x 1chip x 1die x 1plane, 512 blocks x 16 pages, qd 64",
+        cfg,
+        lpn_space: SPAN,
+        trace,
+    }
 }
 
 struct RunSample {
@@ -90,15 +174,14 @@ struct RunSample {
     phases: PhaseReport,
 }
 
-fn run_once(trace: &[IoRequest]) -> RunSample {
-    let cfg = sim_micro_cfg();
-    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(LPN_SPACE);
-    let sim = SimBuilder::new(cfg, layout)
+fn run_once(w: &Workload) -> RunSample {
+    let layout = TenantLayout::shared(1, &w.cfg).with_lpn_space_all(w.lpn_space);
+    let sim = SimBuilder::new(w.cfg.clone(), layout)
         .precondition(&[1.0])
         .build()
-        .expect("sim_micro config is valid");
+        .expect("bench config is valid");
     let start = Instant::now();
-    let report = sim.run(trace).expect("sim_micro trace runs clean");
+    let report = sim.run(&w.trace).expect("bench trace runs clean");
     let elapsed = start.elapsed();
     black_box(&report);
     RunSample {
@@ -111,17 +194,16 @@ fn run_once(trace: &[IoRequest]) -> RunSample {
 
 /// The same workload with a bounded recorder attached — the probed path
 /// whose overhead the ≤2 % discipline bounds.
-fn run_once_recorded(trace: &[IoRequest]) -> RunSample {
-    let cfg = sim_micro_cfg();
-    let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(LPN_SPACE);
+fn run_once_recorded(w: &Workload) -> RunSample {
+    let layout = TenantLayout::shared(1, &w.cfg).with_lpn_space_all(w.lpn_space);
     let mut rec = EventRecorder::with_capacity(1 << 16);
-    let sim = SimBuilder::new(cfg, layout)
+    let sim = SimBuilder::new(w.cfg.clone(), layout)
         .precondition(&[1.0])
         .probe(&mut rec)
         .build()
-        .expect("sim_micro config is valid");
+        .expect("bench config is valid");
     let start = Instant::now();
-    let report = sim.run(trace).expect("sim_micro trace runs clean");
+    let report = sim.run(&w.trace).expect("bench trace runs clean");
     let elapsed = start.elapsed();
     black_box(&report);
     black_box(rec.len());
@@ -137,40 +219,54 @@ fn median(sorted: &[RunSample]) -> &RunSample {
     &sorted[(sorted.len() - 1) / 2]
 }
 
-fn main() {
-    let iters = env_usize("SSDKEEPER_BENCH_ITERS", 10).max(1);
-    let warmup = env_usize("SSDKEEPER_BENCH_WARMUP", 2);
-    let trace = sim_micro_trace();
-
+/// Median-of-N measurement for one workload.
+fn measure(w: &Workload, iters: usize, warmup: usize) -> RunSample {
     for _ in 0..warmup {
-        black_box(run_once(&trace));
+        black_box(run_once(w));
     }
-    let mut samples: Vec<RunSample> = (0..iters).map(|_| run_once(&trace)).collect();
+    let mut samples: Vec<RunSample> = (0..iters).map(|_| run_once(w)).collect();
     samples.sort_unstable_by_key(|s| s.elapsed);
     let med = median(&samples);
-    let events = med.events;
-    let events_per_sec = med.events_per_sec;
-
     println!(
-        "sim_throughput/sim_micro  iters={iters} events={events} \
-         min={:?} median={:?} max={:?}  {:.0} events/s",
+        "sim_throughput/{:<16} iters={iters} events={} min={:?} median={:?} max={:?}  {:.0} events/s",
+        w.name,
+        med.events,
         samples[0].elapsed,
         med.elapsed,
         samples[samples.len() - 1].elapsed,
-        events_per_sec,
+        med.events_per_sec,
     );
+    RunSample {
+        events: med.events,
+        elapsed: med.elapsed,
+        events_per_sec: med.events_per_sec,
+        phases: med.phases.clone(),
+    }
+}
+
+fn main() {
+    let iters = env_usize("SSDKEEPER_BENCH_ITERS", 10).max(1);
+    let warmup = env_usize("SSDKEEPER_BENCH_WARMUP", 2);
+    let workloads = [sim_micro(), gc_heavy(), read_mostly_8ch()];
+
+    let results: Vec<RunSample> = workloads
+        .iter()
+        .map(|w| measure(w, iters, warmup))
+        .collect();
 
     if std::env::var("SSDKEEPER_BENCH_PROBE").map_or(false, |v| v == "1") {
+        let w = &workloads[0];
         for _ in 0..warmup {
-            black_box(run_once_recorded(&trace));
+            black_box(run_once_recorded(w));
         }
-        let mut probed: Vec<RunSample> = (0..iters).map(|_| run_once_recorded(&trace)).collect();
+        let mut probed: Vec<RunSample> = (0..iters).map(|_| run_once_recorded(w)).collect();
         probed.sort_unstable_by_key(|s| s.elapsed);
         let pmed = median(&probed);
-        let overhead = pmed.elapsed.as_secs_f64() / med.elapsed.as_secs_f64() - 1.0;
+        let overhead = pmed.elapsed.as_secs_f64() / results[0].elapsed.as_secs_f64() - 1.0;
         println!(
-            "sim_throughput/sim_micro+recorder  median={:?}  {:.0} events/s  \
+            "sim_throughput/{}+recorder  median={:?}  {:.0} events/s  \
              probe overhead {:+.2}% vs NullProbe",
+            w.name,
             pmed.elapsed,
             pmed.events_per_sec,
             overhead * 100.0,
@@ -178,17 +274,12 @@ fn main() {
     }
 
     if let Ok(path) = std::env::var("SSDKEEPER_BENCH_JSON") {
-        write_json(
-            &path,
-            events,
-            med.elapsed.as_nanos() as u64,
-            events_per_sec,
-            &med.phases,
-        );
+        write_json(&path, &workloads, &results);
     }
 }
 
-/// Reads `"key": <number>` out of `section`'s object in our own JSON.
+/// Reads `"key": <number>` out of `section`'s object in our own JSON,
+/// scanning forward from the first occurrence of the section name.
 fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
     let sec = text.find(&format!("\"{section}\""))?;
     let rest = &text[sec..];
@@ -202,21 +293,27 @@ fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64, phases: &PhaseReport) {
-    // Keep the recorded baseline when the file already has one so the
-    // speedup is always measured against the first committed run.
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let (base_events, base_median, base_eps) = match (
-        json_number(&existing, "baseline", "events"),
-        json_number(&existing, "baseline", "median_ns"),
-        json_number(&existing, "baseline", "events_per_sec"),
+/// Baseline for one workload from the existing report, scoped to that
+/// workload's JSON block (each workload's `baseline` is the first object
+/// following its name, which the fixed field order guarantees).
+fn stored_baseline(existing: &str, workload: &str) -> Option<(u64, u64, f64)> {
+    let start = existing.find(&format!("\"{workload}\""))?;
+    let scoped = &existing[start..];
+    match (
+        json_number(scoped, "baseline", "events"),
+        json_number(scoped, "baseline", "median_ns"),
+        json_number(scoped, "baseline", "events_per_sec"),
     ) {
-        (Some(e), Some(m), Some(eps)) => (e as u64, m as u64, eps),
-        _ => (events, median_ns, events_per_sec),
-    };
-    let speedup = events_per_sec / base_eps;
-    // One phase entry: mean plus log₂-bucketed p50/p99 (the tails
-    // `ssdtrace diff` holds the line on).
+        (Some(e), Some(m), Some(eps)) => Some((e as u64, m as u64, eps)),
+        _ => None,
+    }
+}
+
+fn write_json(path: &str, workloads: &[Workload], results: &[RunSample]) {
+    // Keep each workload's recorded baseline when the file already has
+    // one, so speedups are always measured against the first committed
+    // run of that workload on this format.
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
     let phase = |h: &flash_sim::PhaseHist| {
         format!(
             "{{ \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {} }}",
@@ -225,29 +322,47 @@ fn write_json(path: &str, events: u64, median_ns: u64, events_per_sec: f64, phas
             h.percentile(0.99),
         )
     };
-    // "phases" must stay after "current": json_number scans forward from
-    // the first occurrence of the section name.
-    let body = format!(
-        "{{\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"sim_micro\",\n  \
-         \"requests\": {REQUESTS},\n  \"hot_lpns\": {HOT_LPNS},\n  \
-         \"geometry\": \"4ch x 1chip x 1die x 1plane, 2048 blocks x 16 pages, qd 64\",\n  \
-         \"baseline\": {{ \"events\": {base_events}, \"median_ns\": {base_median}, \
-         \"events_per_sec\": {base_eps:.1} }},\n  \
-         \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
-         \"events_per_sec\": {events_per_sec:.1} }},\n  \
-         \"phases\": {{\n    \"wait_unit\": {},\n    \"array\": {},\n    \
-         \"wait_bus\": {},\n    \"transfer\": {},\n    \"gc_exec\": {},\n    \
-         \"queue_depth\": {{ \"mean\": {:.2}, \"p50\": {}, \"p99\": {} }}\n  }},\n  \
-         \"speedup_vs_baseline\": {speedup:.3}\n}}\n",
-        phase(&phases.wait_unit),
-        phase(&phases.array),
-        phase(&phases.wait_bus),
-        phase(&phases.transfer),
-        phase(&phases.gc_exec),
-        phases.queue_depth.mean(),
-        phases.queue_depth.percentile(0.50),
-        phases.queue_depth.percentile(0.99),
-    );
+    let mut body = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": {\n");
+    for (i, (w, r)) in workloads.iter().zip(results).enumerate() {
+        let events = r.events;
+        let median_ns = r.elapsed.as_nanos() as u64;
+        let eps = r.events_per_sec;
+        let (base_events, base_median, base_eps) =
+            stored_baseline(&existing, w.name).unwrap_or((events, median_ns, eps));
+        let speedup = eps / base_eps;
+        let p = &r.phases;
+        // Field order is load-bearing: `baseline` precedes `current` so
+        // stored_baseline's forward scan stays inside this workload.
+        let _ = write!(
+            body,
+            "    \"{}\": {{\n      \"requests\": {},\n      \"geometry\": \"{}\",\n      \
+             \"baseline\": {{ \"events\": {base_events}, \"median_ns\": {base_median}, \
+             \"events_per_sec\": {base_eps:.1} }},\n      \
+             \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
+             \"events_per_sec\": {eps:.1} }},\n      \
+             \"phases\": {{\n        \"wait_unit\": {},\n        \"array\": {},\n        \
+             \"wait_bus\": {},\n        \"transfer\": {},\n        \"gc_exec\": {},\n        \
+             \"queue_depth\": {{ \"mean\": {:.2}, \"p50\": {}, \"p99\": {} }}\n      }},\n      \
+             \"speedup_vs_baseline\": {speedup:.3}\n    }}{}\n",
+            w.name,
+            w.trace.len(),
+            w.geometry,
+            phase(&p.wait_unit),
+            phase(&p.array),
+            phase(&p.wait_bus),
+            phase(&p.transfer),
+            phase(&p.gc_exec),
+            p.queue_depth.mean(),
+            p.queue_depth.percentile(0.50),
+            p.queue_depth.percentile(0.99),
+            if i + 1 < workloads.len() { "," } else { "" },
+        );
+        println!(
+            "sim_throughput: {} speedup vs baseline: {speedup:.3}x",
+            w.name
+        );
+    }
+    body.push_str("  }\n}\n");
     std::fs::write(path, body).expect("write BENCH json");
-    println!("sim_throughput: wrote {path} (speedup vs baseline: {speedup:.3}x)");
+    println!("sim_throughput: wrote {path}");
 }

@@ -12,7 +12,7 @@
 //! I/O behind a collecting die stalls exactly as it would on hardware.
 //! Migrations use on-chip copyback and never touch the channel bus.
 
-use super::{Ftl, FtlError, PageState};
+use super::Ftl;
 
 /// Timing charge for one GC pass, to be applied to the owning execution
 /// unit by the engine.
@@ -40,68 +40,17 @@ pub struct GcCharge {
 pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
     let pages_per_block = ftl.pages_per_block_internal();
     let victim = pick_wear_victim(ftl, plane, pages_per_block)
-        .or_else(|| ftl.plane_ref(plane).greedy_victim())?;
-    // The victim leaves the index now: the bulk invalidation below
-    // bypasses `Ftl::invalidate`, and the erase takes it out of the
-    // full-block population anyway.
-    ftl.plane_mut(plane).index_remove(victim);
+        .or_else(|| ftl.plane_mut(plane).greedy_victim())?;
+    // No index removal here: the victim's entries go stale when the erase
+    // below bumps its erase count (and empties it), and the lazy cleanup
+    // in victim selection discards them.
 
-    // Collect the victim's live pages before mutating anything, into the
-    // FTL's reusable scratch buffer (no per-pass allocation).
-    let mut live = ftl.take_gc_scratch();
-    live.clear();
-    live.extend(
-        ftl.plane_ref(plane).blocks[victim]
-            .pages
-            .iter()
-            .filter_map(|p| match *p {
-                PageState::Valid { tenant, lpn } => Some((tenant, lpn)),
-                _ => None,
-            }),
-    );
-
-    // Invalidate the whole victim in place so append_for_gc never lands on
-    // it (it is full, so it cannot be the active block).
-    {
-        let block = &mut ftl.plane_mut(plane).blocks[victim];
-        debug_assert!(block.next_page as usize == pages_per_block);
-        for p in block.pages.iter_mut() {
-            *p = PageState::Invalid;
-        }
-        block.valid_count = 0;
-    }
-
-    // Migrate live pages into the active block(s) of the same plane.
-    let mut moved = 0u32;
-    let mut victim_erased = false;
-    for &(tenant, lpn) in &live {
-        match ftl.append_for_gc(plane, tenant, lpn) {
-            Ok(addr) => {
-                let packed = ftl.geometry_internal().pack_page(&addr);
-                ftl.map_mut(tenant).set(lpn, packed);
-                moved += 1;
-            }
-            Err(FtlError::PlaneFull { .. }) => {
-                // Free the victim first, then retry the remaining moves.
-                // This can only happen when the spare pool was already empty;
-                // erase now and continue into the reclaimed block.
-                erase_block(ftl, plane, victim);
-                victim_erased = true;
-                let addr = ftl
-                    .append_for_gc(plane, tenant, lpn)
-                    .expect("erased victim provides space for its own live pages");
-                let packed = ftl.geometry_internal().pack_page(&addr);
-                ftl.map_mut(tenant).set(lpn, packed);
-                moved += 1;
-            }
-            Err(e) => unreachable!("GC migration hit unexpected FTL error: {e}"),
-        }
-    }
-    ftl.put_gc_scratch(live);
-
-    // Erase the victim if the fallback path has not already done so.
+    // Collect, invalidate, and migrate the victim's live pages in the
+    // FTL's fused inner loop (see `Ftl::migrate_for_gc`); the victim is
+    // erased there only when the spare pool ran dry mid-migration.
+    let (moved, victim_erased) = ftl.migrate_for_gc(plane, victim);
     if !victim_erased {
-        erase_block(ftl, plane, victim);
+        ftl.erase_block_internal(plane, victim);
     }
 
     let (read_ns, write_ns, erase_ns) = ftl.timings();
@@ -123,36 +72,18 @@ pub(super) fn collect_plane(ftl: &mut Ftl, plane: usize) -> Option<GcCharge> {
 /// threshold, returns the coldest (least-erased) full block so its data
 /// is migrated and the block rejoins the write rotation. Returns `None`
 /// when disabled (threshold 0) or the spread is within bounds.
-fn pick_wear_victim(ftl: &Ftl, plane: usize, _pages_per_block: usize) -> Option<usize> {
+fn pick_wear_victim(ftl: &mut Ftl, plane: usize, _pages_per_block: usize) -> Option<usize> {
     let threshold = ftl.wear_threshold_internal();
     if threshold == 0 {
         return None;
     }
-    let state = ftl.plane_ref(plane);
     // O(1) spread check via the plane's erase histogram.
-    if state.erase_spread() <= threshold {
+    if ftl.plane_ref(plane).erase_spread() <= threshold {
         return None;
     }
     // Coldest full block, ties toward more invalid pages (cheaper moves):
     // min (erase, valid, idx) straight out of the victim index.
-    state.wear_victim()
-}
-
-/// Erases `block` in `plane`: all pages become free, the spare pool grows.
-fn erase_block(ftl: &mut Ftl, plane: usize, block: usize) {
-    let pages_per_block = ftl.pages_per_block_internal() as u64;
-    let state = ftl.plane_mut(plane);
-    let b = &mut state.blocks[block];
-    debug_assert_eq!(b.valid_count, 0, "erasing a block with live data");
-    for p in b.pages.iter_mut() {
-        *p = PageState::Free;
-    }
-    b.next_page = 0;
-    let old_erase = b.erase_count;
-    b.erase_count += 1;
-    state.free_pages += pages_per_block;
-    state.free_blocks.push(block);
-    state.note_erase(old_erase);
+    ftl.plane_mut(plane).wear_victim()
 }
 
 #[cfg(test)]

@@ -81,12 +81,19 @@ pub struct PlaneState {
     pub free_blocks: Vec<usize>,
     /// Count of `Free` pages across the plane (fast full-check).
     pub free_pages: u64,
-    /// GC victim index: bucket `v` holds every **full, non-active** block
-    /// with `valid_count == v` as `(erase_count, block_idx)`, so the
-    /// greedy victim — min by `(valid, erase, idx)` — is the first entry
-    /// of the first non-empty bucket instead of an O(blocks) scan.
-    /// Maintained incrementally on invalidation, rotation, and erase.
-    full_blocks: Vec<std::collections::BTreeSet<(u32, u32)>>,
+    /// GC victim index: bucket `v` holds candidate entries for **full,
+    /// non-active** blocks with `valid_count == v` as a lazy min-heap of
+    /// `(erase_count << 32) | block_idx` keys, so the greedy victim — min
+    /// by `(valid, erase, idx)` — is the live top of the first non-empty
+    /// bucket. Entries are pushed on every transition into a bucket and
+    /// never removed eagerly: a stale entry (its block moved on, got
+    /// erased, or became active) is detected by comparing the key against
+    /// the block's current state and popped at query time. Each push is
+    /// popped at most once, so maintenance is O(log bucket) per
+    /// invalidation with no per-node allocation — unlike the ordered-set
+    /// variant this replaces, whose rebalancing dominated the GC-heavy
+    /// write path.
+    full_blocks: Vec<std::collections::BinaryHeap<std::cmp::Reverse<u64>>>,
     /// `erase_hist[c]` = blocks with `erase_count == c`; with the min/max
     /// cursors below it answers the wear-leveling spread check in O(1).
     erase_hist: Vec<u32>,
@@ -105,49 +112,84 @@ impl PlaneState {
             active_block: None,
             free_blocks: (0..cfg.blocks_per_plane).rev().collect(),
             free_pages: (cfg.blocks_per_plane * cfg.pages_per_block) as u64,
-            full_blocks: vec![std::collections::BTreeSet::new(); cfg.pages_per_block + 1],
+            full_blocks: vec![std::collections::BinaryHeap::new(); cfg.pages_per_block + 1],
             erase_hist: vec![cfg.blocks_per_plane as u32],
             min_erase: 0,
             max_erase: 0,
         }
     }
 
-    /// Adds `block` (full, non-active) to the bucket of its current valid
-    /// count. Idempotent.
-    pub(crate) fn index_insert(&mut self, block: usize) {
-        let b = &self.blocks[block];
-        self.full_blocks[b.valid_count as usize].insert((b.erase_count, block as u32));
+    /// Packs a victim-index entry; `Reverse` turns the max-heap into the
+    /// min-heap the `(erase, idx)` order needs.
+    #[inline]
+    fn victim_key(erase: u32, block: u32) -> std::cmp::Reverse<u64> {
+        std::cmp::Reverse((erase as u64) << 32 | block as u64)
     }
 
-    /// Removes `block` from the bucket of its current valid count.
-    pub(crate) fn index_remove(&mut self, block: usize) {
+    /// Whether a bucket entry still describes its block: the block must be
+    /// full, non-active, in this bucket, and not erased since the push
+    /// (each erase bumps `erase_count`, so a block never re-enters a
+    /// bucket under a key it already used).
+    #[inline]
+    fn entry_is_current(&self, bucket: usize, key: u64) -> bool {
+        let idx = key as u32 as usize;
+        let erase = (key >> 32) as u32;
+        let b = &self.blocks[idx];
+        b.next_page as usize >= self.bucket_pages_per_block()
+            && self.active_block != Some(idx)
+            && b.valid_count as usize == bucket
+            && b.erase_count == erase
+    }
+
+    /// `pages_per_block`, recovered from the bucket count so the index
+    /// methods need no extra argument threading.
+    #[inline]
+    fn bucket_pages_per_block(&self) -> usize {
+        self.full_blocks.len() - 1
+    }
+
+    /// Adds `block` (full, non-active) to the bucket of its current valid
+    /// count. Stale entries from earlier states are left behind for the
+    /// query-time cleanup.
+    pub(crate) fn index_insert(&mut self, block: usize) {
         let b = &self.blocks[block];
-        self.full_blocks[b.valid_count as usize].remove(&(b.erase_count, block as u32));
+        self.full_blocks[b.valid_count as usize]
+            .push(Self::victim_key(b.erase_count, block as u32));
+    }
+
+    /// Pops stale entries off a bucket and returns its live minimum
+    /// `(erase, idx)` key, if any.
+    fn bucket_top(&mut self, bucket: usize) -> Option<u64> {
+        while let Some(&std::cmp::Reverse(key)) = self.full_blocks[bucket].peek() {
+            if self.entry_is_current(bucket, key) {
+                return Some(key);
+            }
+            self.full_blocks[bucket].pop();
+        }
+        None
     }
 
     /// Greedy victim: the full, non-active block minimizing
     /// `(valid_count, erase_count, idx)`, excluding fully-valid blocks
     /// (nothing reclaimable). Exactly the order of the old linear scan.
-    pub(crate) fn greedy_victim(&self) -> Option<usize> {
-        let fully_valid = self.full_blocks.len() - 1;
-        self.full_blocks[..fully_valid]
-            .iter()
-            .find_map(|bucket| bucket.first().map(|&(_, idx)| idx as usize))
+    pub(crate) fn greedy_victim(&mut self) -> Option<usize> {
+        let fully_valid = self.bucket_pages_per_block();
+        (0..fully_valid).find_map(|v| self.bucket_top(v).map(|key| key as u32 as usize))
     }
 
     /// Wear victim: the full, non-active block minimizing
     /// `(erase_count, valid_count, idx)` — fully-valid blocks included,
     /// since cold data is exactly what static wear leveling must move.
-    /// Each bucket's first entry is its min by `(erase, idx)`, so one
+    /// Each bucket's live top is its min by `(erase, idx)`, so one
     /// candidate per bucket finds the global min in O(pages_per_block).
-    pub(crate) fn wear_victim(&self) -> Option<usize> {
-        self.full_blocks
-            .iter()
-            .enumerate()
-            .filter_map(|(valid, bucket)| {
-                bucket
-                    .first()
-                    .map(|&(erase, idx)| (erase, valid as u32, idx))
+    pub(crate) fn wear_victim(&mut self) -> Option<usize> {
+        (0..self.full_blocks.len())
+            .filter_map(|valid| {
+                self.bucket_top(valid).map(|key| {
+                    let idx = key as u32;
+                    let erase = (key >> 32) as u32;
+                    (erase, valid as u32, idx)
+                })
             })
             .min()
             .map(|(_, _, idx)| idx as usize)
@@ -339,6 +381,26 @@ impl Ftl {
         self.write_inner(tenant, lpn, plane)
     }
 
+    /// [`Ftl::write`] for an LPN already reduced modulo the tenant's
+    /// logical space. The admit path computes `lpn % lpn_space` once for
+    /// plane selection and reuses it here, skipping a second 64-bit
+    /// modulo per written page.
+    pub(crate) fn write_in_space(
+        &mut self,
+        tenant: u16,
+        lpn: u64,
+        plane: usize,
+    ) -> Result<WriteOutcome, FtlError> {
+        if self.maps.len() <= tenant as usize {
+            return Err(FtlError::UnknownTenant(tenant));
+        }
+        debug_assert!(
+            lpn < self.maps[tenant as usize].lpn_space(),
+            "caller must pre-reduce the LPN"
+        );
+        self.write_inner(tenant, lpn, plane)
+    }
+
     fn write_inner(
         &mut self,
         tenant: u16,
@@ -347,13 +409,12 @@ impl Ftl {
     ) -> Result<WriteOutcome, FtlError> {
         // Invalidate the previous copy, if any.
         if let Some(old_packed) = self.maps[tenant as usize].get(lpn) {
-            let old = self.geo.unpack_page(old_packed);
-            self.invalidate(&old);
+            self.invalidate_packed(old_packed);
         }
 
         // Land the page on the plane's active block.
         let addr = self.append_to_plane(plane, tenant, lpn)?;
-        self.maps[tenant as usize].set(lpn, self.geo.pack_page(&addr));
+        self.maps[tenant as usize].set(lpn, self.geo.packed_at(plane, addr.block, addr.page));
         self.stats.host_pages_written += 1;
 
         // Trigger GC when spare blocks run low.
@@ -365,25 +426,25 @@ impl Ftl {
         Ok(WriteOutcome { addr, gc })
     }
 
-    /// Marks the page at `addr` invalid, relocating the block between
-    /// victim-index buckets when it is indexed (full and non-active).
-    fn invalidate(&mut self, addr: &PhysAddr) {
-        let plane = self.geo.plane_index(addr);
+    /// Marks the page behind a packed id invalid, relocating the block
+    /// between victim-index buckets when it is indexed (full and
+    /// non-active). Works on the packed form directly so the hot write
+    /// path never materializes a [`PhysAddr`] for the dying copy.
+    fn invalidate_packed(&mut self, packed: u32) {
+        let (plane, bi, page) = self.geo.split_packed(packed);
+        let bi = bi as usize;
         let pages_per_block = self.pages_per_block;
         let state = &mut self.planes[plane];
-        let bi = addr.block as usize;
-        let indexed = state.blocks[bi].is_full(pages_per_block) && state.active_block != Some(bi);
-        if indexed {
-            state.index_remove(bi);
-        }
         let block = &mut state.blocks[bi];
         debug_assert!(matches!(
-            block.pages[addr.page as usize],
+            block.pages[page as usize],
             PageState::Valid { .. }
         ));
-        block.pages[addr.page as usize] = PageState::Invalid;
+        block.pages[page as usize] = PageState::Invalid;
         block.valid_count -= 1;
-        if indexed {
+        // Re-index under the new valid count; the entry left in the old
+        // bucket goes stale and is popped lazily at victim selection.
+        if block.is_full(pages_per_block) && state.active_block != Some(bi) {
             state.index_insert(bi);
         }
     }
@@ -427,20 +488,7 @@ impl Ftl {
         block.valid_count += 1;
         state.free_pages -= 1;
 
-        let die = self.geo.die_of_plane(plane);
-        let plane_in_die = (plane % self.geo.planes_per_die()) as u16;
-        let channel = self.geo.channel_of_die(die) as u16;
-        let within_channel = die % self.geo.dies_per_channel();
-        let chip = (within_channel / self.geo.dies_per_chip()) as u16;
-        let die_in_chip = (within_channel % self.geo.dies_per_chip()) as u16;
-        Ok(PhysAddr {
-            channel,
-            chip,
-            die: die_in_chip,
-            plane: plane_in_die,
-            block: b as u32,
-            page,
-        })
+        Ok(self.geo.addr_at(plane, b as u32, page))
     }
 
     /// Runs one greedy GC pass on `plane`; returns the timing charge or
@@ -459,14 +507,6 @@ impl Ftl {
         &self.planes[plane]
     }
 
-    pub(crate) fn map_mut(&mut self, tenant: u16) -> &mut TenantMap {
-        &mut self.maps[tenant as usize]
-    }
-
-    pub(crate) fn geometry_internal(&self) -> &Geometry {
-        &self.geo
-    }
-
     pub(crate) fn timings(&self) -> (u64, u64, u64) {
         (self.read_ns, self.write_ns, self.erase_ns)
     }
@@ -483,23 +523,98 @@ impl Ftl {
         &mut self.stats
     }
 
-    /// Hands the GC live-page buffer to a pass (contents stale; clear it).
-    pub(crate) fn take_gc_scratch(&mut self) -> Vec<(u16, u64)> {
-        std::mem::take(&mut self.gc_scratch)
+    /// Erases `block` in `plane`: all pages become free, the spare pool
+    /// grows, wear accounting advances.
+    pub(crate) fn erase_block_internal(&mut self, plane: usize, block: usize) {
+        let pages_per_block = self.pages_per_block as u64;
+        let state = &mut self.planes[plane];
+        let b = &mut state.blocks[block];
+        debug_assert_eq!(b.valid_count, 0, "erasing a block with live data");
+        for p in b.pages.iter_mut() {
+            *p = PageState::Free;
+        }
+        b.next_page = 0;
+        let old_erase = b.erase_count;
+        b.erase_count += 1;
+        state.free_pages += pages_per_block;
+        state.free_blocks.push(block);
+        state.note_erase(old_erase);
     }
 
-    /// Returns the buffer after a pass so its capacity is reused.
-    pub(crate) fn put_gc_scratch(&mut self, scratch: Vec<(u16, u64)>) {
-        self.gc_scratch = scratch;
-    }
+    /// GC inner loop: drains the victim's live pages and re-appends them
+    /// to the plane's active block(s), remapping each as it lands. Fused
+    /// into one method so the per-moved-page work — block rotation check,
+    /// page append, packed-id computation, mapping update — runs with the
+    /// loop invariants (`pages_per_block`, the plane's packed page base)
+    /// held in locals; this body executes once per live page of every
+    /// victim, the hottest FTL path under write pressure.
+    ///
+    /// Returns `(pages_moved, victim_erased)`. `victim_erased` is set
+    /// when the spare pool ran dry mid-migration and the victim had to be
+    /// erased early to supply the destination block for its own remaining
+    /// live pages.
+    pub(crate) fn migrate_for_gc(&mut self, plane: usize, victim: usize) -> (u32, bool) {
+        let pages_per_block = self.pages_per_block;
+        let mut live = std::mem::take(&mut self.gc_scratch);
+        live.clear();
+        {
+            // Collect the live pages and invalidate the whole victim in
+            // one pass over its pages. The victim is full, so it can
+            // never be the active block the moves land on.
+            let block = &mut self.planes[plane].blocks[victim];
+            debug_assert!(block.next_page as usize == pages_per_block);
+            for p in block.pages.iter_mut() {
+                if let PageState::Valid { tenant, lpn } = *p {
+                    live.push((tenant, lpn));
+                }
+                *p = PageState::Invalid;
+            }
+            block.valid_count = 0;
+        }
 
-    pub(crate) fn append_for_gc(
-        &mut self,
-        plane: usize,
-        tenant: u16,
-        lpn: u64,
-    ) -> Result<PhysAddr, FtlError> {
-        self.append_to_plane(plane, tenant, lpn)
+        let page_base = self.geo.packed_at(plane, 0, 0);
+        let ppb32 = pages_per_block as u32;
+        let mut moved = 0u32;
+        let mut victim_erased = false;
+        for &(tenant, lpn) in &live {
+            let state = &mut self.planes[plane];
+            let need_new_block = match state.active_block {
+                Some(b) => state.blocks[b].is_full(pages_per_block),
+                None => true,
+            };
+            if need_new_block {
+                if state.free_blocks.is_empty() {
+                    // Spare pool dry: free the victim now and continue
+                    // into the block it just vacated.
+                    self.erase_block_internal(plane, victim);
+                    victim_erased = true;
+                }
+                let state = &mut self.planes[plane];
+                let b = state
+                    .free_blocks
+                    .pop()
+                    .expect("erased victim provides a spare block");
+                // The outgoing active block (full, by `need_new_block`)
+                // leaves rotation and becomes victim material.
+                if let Some(old) = state.active_block {
+                    state.index_insert(old);
+                }
+                state.active_block = Some(b);
+            }
+            let state = &mut self.planes[plane];
+            let b = state.active_block.expect("just ensured an active block");
+            let block = &mut state.blocks[b];
+            let page = block.next_page;
+            debug_assert!(matches!(block.pages[page as usize], PageState::Free));
+            block.pages[page as usize] = PageState::Valid { tenant, lpn };
+            block.next_page += 1;
+            block.valid_count += 1;
+            state.free_pages -= 1;
+            self.maps[tenant as usize].set(lpn, page_base + b as u32 * ppb32 + page);
+            moved += 1;
+        }
+        self.gc_scratch = live;
+        (moved, victim_erased)
     }
 
     /// Validates internal invariants; used by tests.
@@ -533,15 +648,28 @@ impl Ftl {
                 free_pages, plane.free_pages,
                 "plane {pi} free_pages mismatch"
             );
-            // The victim index must hold exactly the full, non-active
-            // blocks, bucketed by valid count, keyed (erase, idx).
+            // The victim index must cover exactly the full, non-active
+            // blocks: after discarding stale entries, each bucket's live
+            // keys are the `(erase, idx)` pairs of its blocks.
             let mut expect = vec![std::collections::BTreeSet::new(); self.pages_per_block + 1];
             for (bi, b) in plane.blocks.iter().enumerate() {
                 if b.is_full(self.pages_per_block) && plane.active_block != Some(bi) {
-                    expect[b.valid_count as usize].insert((b.erase_count, bi as u32));
+                    expect[b.valid_count as usize].insert((b.erase_count as u64) << 32 | bi as u64);
                 }
             }
-            assert_eq!(expect, plane.full_blocks, "plane {pi} victim index stale");
+            let live: Vec<std::collections::BTreeSet<u64>> = plane
+                .full_blocks
+                .iter()
+                .enumerate()
+                .map(|(v, bucket)| {
+                    bucket
+                        .iter()
+                        .map(|&std::cmp::Reverse(key)| key)
+                        .filter(|&key| plane.entry_is_current(v, key))
+                        .collect()
+                })
+                .collect();
+            assert_eq!(expect, live, "plane {pi} victim index stale");
             // The erase histogram and its cursors must match the blocks.
             let mut hist = vec![0u32; plane.erase_hist.len()];
             for b in &plane.blocks {

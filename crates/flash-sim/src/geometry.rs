@@ -27,6 +27,61 @@ pub struct PhysAddr {
     pub page: u32,
 }
 
+/// Exact `u32` division by a runtime-chosen constant via one 64×64→128
+/// multiply (Lemire's round-up reciprocal): for `1 < d <= u32::MAX`,
+/// `magic = u64::MAX / d + 1` and `n / d == (n * magic) >> 64` for every
+/// `n < 2^32`. For powers of two `magic` degenerates to the exact shift
+/// reciprocal, so the identity holds there too; `d == 1` is branched.
+///
+/// The point: dimension arithmetic (`die_of_plane`, `unpack_page`, …) runs
+/// on the GC migration path for every moved page, and hardware 64-bit
+/// division costs ~20-40 cycles against ~3 for a high multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MagicU32 {
+    magic: u64,
+    d: u32,
+}
+
+impl MagicU32 {
+    pub(crate) fn new(d: usize) -> Self {
+        debug_assert!(d >= 1 && d <= u32::MAX as usize);
+        Self {
+            // Wraps to 0 for d == 1; div() never reads it on that path.
+            magic: (u64::MAX / d as u64).wrapping_add(1),
+            d: d as u32,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn div(self, n: u32) -> u32 {
+        if self.d == 1 {
+            n
+        } else {
+            ((n as u128 * self.magic as u128) >> 64) as u32
+        }
+    }
+
+    /// `(n / d, n % d)` with a single multiply-high and one multiply-back.
+    #[inline]
+    pub(crate) fn divmod(self, n: u32) -> (u32, u32) {
+        let q = self.div(n);
+        (q, n - q * self.d)
+    }
+}
+
+/// Flat-plane coordinates precomputed at construction: everything a hot
+/// path needs to turn `(plane, block, page)` into a [`PhysAddr`] or a
+/// packed page id without a single divide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlaneCoord {
+    channel: u16,
+    chip: u16,
+    die: u16,
+    plane: u16,
+    /// Packed id of page 0 of block 0 in this plane.
+    page_base: u32,
+}
+
 /// Precomputed dimension arithmetic for a fixed [`SsdConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Geometry {
@@ -36,19 +91,47 @@ pub struct Geometry {
     planes_per_die: usize,
     blocks_per_plane: usize,
     pages_per_block: usize,
+    div_planes_per_die: MagicU32,
+    div_dies_per_channel: MagicU32,
+    div_pages_per_plane: MagicU32,
+    div_pages_per_block: MagicU32,
+    coords: Vec<PlaneCoord>,
 }
 
 impl Geometry {
     /// Builds the dimension table from a configuration.
     pub fn new(cfg: &SsdConfig) -> Self {
-        Self {
+        let mut geo = Self {
             channels: cfg.channels,
             chips_per_channel: cfg.chips_per_channel,
             dies_per_chip: cfg.dies_per_chip,
             planes_per_die: cfg.planes_per_die,
             blocks_per_plane: cfg.blocks_per_plane,
             pages_per_block: cfg.pages_per_block,
-        }
+            div_planes_per_die: MagicU32::new(cfg.planes_per_die),
+            div_dies_per_channel: MagicU32::new(cfg.chips_per_channel * cfg.dies_per_chip),
+            div_pages_per_plane: MagicU32::new(cfg.blocks_per_plane * cfg.pages_per_block),
+            div_pages_per_block: MagicU32::new(cfg.pages_per_block),
+            coords: Vec::new(),
+        };
+        debug_assert!(
+            geo.total_pages() <= u32::MAX as u64 + 1,
+            "device too large for packed page ids"
+        );
+        geo.coords = (0..geo.total_planes())
+            .map(|p| {
+                let die_flat = p / geo.planes_per_die;
+                let within_channel = die_flat % geo.dies_per_channel();
+                PlaneCoord {
+                    channel: (die_flat / geo.dies_per_channel()) as u16,
+                    chip: (within_channel / geo.dies_per_chip) as u16,
+                    die: (within_channel % geo.dies_per_chip) as u16,
+                    plane: (p % geo.planes_per_die) as u16,
+                    page_base: (p * geo.pages_per_plane()) as u32,
+                }
+            })
+            .collect();
+        geo
     }
 
     /// Number of channels.
@@ -121,7 +204,7 @@ impl Geometry {
 
     /// Channel that owns a flat die index.
     pub fn channel_of_die(&self, die: usize) -> usize {
-        die / self.dies_per_channel()
+        self.div_dies_per_channel.div(die as u32) as usize
     }
 
     /// Flat plane index of an address.
@@ -137,12 +220,45 @@ impl Geometry {
 
     /// Die that owns a flat plane index.
     pub fn die_of_plane(&self, plane: usize) -> usize {
-        plane / self.planes_per_die
+        self.div_planes_per_die.div(plane as u32) as usize
     }
 
     /// Channel that owns a flat plane index.
     pub fn channel_of_plane(&self, plane: usize) -> usize {
-        self.channel_of_die(self.die_of_plane(plane))
+        self.coords[plane].channel as usize
+    }
+
+    /// Resolves `(flat plane, block, page)` to a full address from the
+    /// precomputed coordinate table — no division, no modulo.
+    #[inline]
+    pub fn addr_at(&self, plane: usize, block: u32, page: u32) -> PhysAddr {
+        let c = self.coords[plane];
+        PhysAddr {
+            channel: c.channel,
+            chip: c.chip,
+            die: c.die,
+            plane: c.plane,
+            block,
+            page,
+        }
+    }
+
+    /// Packed page id of `(flat plane, block, page)`: one multiply off the
+    /// plane's precomputed base. Equals `pack_page(&addr_at(...))`.
+    #[inline]
+    pub fn packed_at(&self, plane: usize, block: u32, page: u32) -> u32 {
+        debug_assert!((block as usize) < self.blocks_per_plane);
+        debug_assert!((page as usize) < self.pages_per_block);
+        self.coords[plane].page_base + block * self.pages_per_block as u32 + page
+    }
+
+    /// Splits a packed page id into `(flat plane, block, page)` with two
+    /// reciprocal multiplies — the divide-free core of [`Self::unpack_page`].
+    #[inline]
+    pub fn split_packed(&self, packed: u32) -> (usize, u32, u32) {
+        let (plane, within) = self.div_pages_per_plane.divmod(packed);
+        let (block, page) = self.div_pages_per_block.divmod(within);
+        (plane as usize, block, page)
     }
 
     /// Packs a physical page into a dense `u32` page id
@@ -153,43 +269,22 @@ impl Geometry {
     /// Panics in debug builds if the address is outside the geometry or the
     /// device has more than `u32::MAX` pages (Table I has ~33.5 M).
     pub fn pack_page(&self, addr: &PhysAddr) -> u32 {
-        debug_assert!((addr.block as usize) < self.blocks_per_plane);
-        debug_assert!((addr.page as usize) < self.pages_per_block);
-        let plane = self.plane_index(addr) as u64;
-        let id = plane * self.pages_per_plane() as u64
-            + addr.block as u64 * self.pages_per_block as u64
-            + addr.page as u64;
-        debug_assert!(
-            id <= u32::MAX as u64,
-            "device too large for packed page ids"
-        );
-        id as u32
+        self.packed_at(self.plane_index(addr), addr.block, addr.page)
     }
 
     /// Inverse of [`Geometry::pack_page`].
+    #[inline]
     pub fn unpack_page(&self, packed: u32) -> PhysAddr {
-        let pages_per_plane = self.pages_per_plane() as u64;
-        let packed = packed as u64;
-        let plane_flat = (packed / pages_per_plane) as usize;
-        let within = packed % pages_per_plane;
-        let block = (within as usize / self.pages_per_block) as u32;
-        let page = (within as usize % self.pages_per_block) as u32;
+        let (plane, block, page) = self.split_packed(packed);
+        self.addr_at(plane, block, page)
+    }
 
-        let die_flat = plane_flat / self.planes_per_die;
-        let plane = (plane_flat % self.planes_per_die) as u16;
-        let dies_per_channel = self.dies_per_channel();
-        let channel = (die_flat / dies_per_channel) as u16;
-        let within_channel = die_flat % dies_per_channel;
-        let chip = (within_channel / self.dies_per_chip) as u16;
-        let die = (within_channel % self.dies_per_chip) as u16;
-        PhysAddr {
-            channel,
-            chip,
-            die,
-            plane,
-            block,
-            page,
-        }
+    /// Reciprocal dividers for `(dies_per_channel, planes_per_die)`,
+    /// consumed by the static-allocation stripe math so the per-page
+    /// admit path never issues a hardware divide.
+    #[inline]
+    pub(crate) fn stripe_divs(&self) -> (MagicU32, MagicU32) {
+        (self.div_dies_per_channel, self.div_planes_per_die)
     }
 
     /// Iterator over the flat die indices belonging to `channel`.
@@ -315,6 +410,81 @@ mod tests {
                 page: rng.gen_range(0u32..8),
             };
             assert_eq!(g.pack_page(&a) == g.pack_page(&b), a == b);
+        }
+    }
+
+    /// The reciprocal divider must agree with hardware division for every
+    /// divisor shape the geometry can produce (1, powers of two, odd
+    /// composites, huge) across boundary and random numerators.
+    #[test]
+    fn magic_division_matches_hardware_division() {
+        let divisors = [
+            1usize,
+            2,
+            3,
+            4,
+            5,
+            6,
+            7,
+            8,
+            12,
+            16,
+            24,
+            100,
+            128,
+            4096 * 128,
+            33_554_432,
+            u32::MAX as usize,
+        ];
+        let mut rng = SimRng::seed_from_u64(77);
+        for &d in &divisors {
+            let m = MagicU32::new(d);
+            let d32 = d as u32;
+            let mut check = |n: u32| {
+                assert_eq!(m.div(n), n / d32, "div {n} / {d}");
+                assert_eq!(m.divmod(n), (n / d32, n % d32), "divmod {n} / {d}");
+            };
+            for n in 0..1024u32 {
+                check(n);
+            }
+            for k in 0..64u32 {
+                check(u32::MAX - k);
+                let mult = d32.wrapping_mul(k);
+                check(mult);
+                check(mult.wrapping_sub(1));
+                check(mult.wrapping_add(1));
+            }
+            for _ in 0..4096 {
+                check(rng.gen());
+            }
+        }
+    }
+
+    /// `addr_at`/`packed_at`/`split_packed` agree with the reference
+    /// pack/unpack pair over the whole (reduced) device.
+    #[test]
+    fn coordinate_table_matches_reference_arithmetic() {
+        let cfg = SsdConfig {
+            blocks_per_plane: 32,
+            pages_per_block: 8,
+            ..SsdConfig::paper_table1()
+        };
+        let g = Geometry::new(&cfg);
+        for plane in 0..g.total_planes() {
+            assert_eq!(
+                g.channel_of_plane(plane),
+                g.channel_of_die(g.die_of_plane(plane))
+            );
+            for block in 0..32u32 {
+                for page in 0..8u32 {
+                    let addr = g.addr_at(plane, block, page);
+                    assert_eq!(g.plane_index(&addr), plane);
+                    let packed = g.packed_at(plane, block, page);
+                    assert_eq!(packed, g.pack_page(&addr));
+                    assert_eq!(g.split_packed(packed), (plane, block, page));
+                    assert_eq!(g.unpack_page(packed), addr);
+                }
+            }
         }
     }
 

@@ -99,6 +99,22 @@ impl PriorityQueue {
         }
     }
 
+    /// Combined `push` + `pop` on an **empty** queue — the uncontended
+    /// fast path taken when a command lands on an idle unit. Semantically
+    /// exact: the sequence counter still advances, and a write popped
+    /// under [`SchedPolicy::ReadPriority`] still resets the bypass budget
+    /// (a read finding no waiting write leaves it untouched, as `pop`
+    /// does). Returns the command for symmetry with `pop`.
+    #[inline]
+    pub fn push_pop_empty(&mut self, cmd: CmdId, class: CmdClass, policy: SchedPolicy) -> CmdId {
+        debug_assert!(self.is_empty(), "push_pop_empty on a non-empty queue");
+        self.next_seq += 1;
+        if matches!(policy, SchedPolicy::ReadPriority { .. }) && class == CmdClass::Write {
+            self.bypass = 0;
+        }
+        cmd
+    }
+
     /// Total queued commands.
     pub fn len(&self) -> usize {
         self.reads.len() + self.writes.len()

@@ -236,6 +236,9 @@ pub struct Simulator<P: Probe = NullProbe> {
     reqs: Vec<ReqState>,
     realloc: Vec<Reallocation>,
     next_realloc: usize,
+    /// Application time of `realloc[next_realloc]` (`u64::MAX` when none
+    /// remain), so the hot loop pays one compare instead of a scan.
+    next_realloc_at: u64,
     transfer_ns: u64,
     // Accumulators.
     tenants: Vec<TenantReport>,
@@ -379,6 +382,7 @@ impl<P: Probe> Simulator<P> {
             reqs: Vec::new(),
             realloc: Vec::new(),
             next_realloc: 0,
+            next_realloc_at: u64::MAX,
             transfer_ns,
             tenants,
             read: LatencyStats::new(),
@@ -470,7 +474,6 @@ impl<P: Probe> Simulator<P> {
             });
         }
         self.validate_trace(trace)?;
-        self.events.reserve(trace.len());
         self.reqs = trace
             .iter()
             .map(|r| ReqState {
@@ -480,15 +483,39 @@ impl<P: Probe> Simulator<P> {
                 op: r.op,
             })
             .collect();
-        for (i, r) in trace.iter().enumerate() {
-            self.events
-                .push(r.arrival_ns, EventKind::Arrive(i as ReqId));
-        }
+        self.next_realloc_at = self.realloc.first().map_or(u64::MAX, |r| r.at_ns);
 
-        while let Some(ev) = self.events.pop() {
+        // Arrivals are never heaped: the validated-sorted trace is its own
+        // queue, and a cursor over it merges against the wheel at pop time,
+        // keeping the pending set at O(in-flight) instead of O(trace).
+        // Arrivals win time ties (`pop_before` is exclusive) and order among
+        // themselves by trace index — exactly the order their up-front
+        // sequence numbers 0..n-1 produced in the heap-based engine, where
+        // every dynamic event's seq was >= n.
+        let mut next_arrival: usize = 0;
+        loop {
+            let (time, kind) = if next_arrival < trace.len() {
+                let at = trace[next_arrival].arrival_ns;
+                match self.events.pop_before(at) {
+                    Some(ev) => (ev.time, ev.kind),
+                    None => {
+                        self.events.advance_to(at);
+                        let r = next_arrival as ReqId;
+                        next_arrival += 1;
+                        (at, EventKind::Arrive(r))
+                    }
+                }
+            } else {
+                match self.events.pop() {
+                    Some(ev) => (ev.time, ev.kind),
+                    None => break,
+                }
+            };
             self.events_processed += 1;
-            self.apply_reallocations(ev.time);
-            match ev.kind {
+            if time >= self.next_realloc_at {
+                self.apply_reallocations(time);
+            }
+            match kind {
                 EventKind::Arrive(r) => {
                     let tenant = trace[r as usize].tenant as usize;
                     let qd = self.cfg.host_queue_depth;
@@ -496,12 +523,12 @@ impl<P: Probe> Simulator<P> {
                         self.host_queues[tenant].push_back(r);
                     } else {
                         self.in_flight[tenant] += 1;
-                        self.on_arrive(r, trace, ev.time)?;
+                        self.on_arrive(r, trace, time)?;
                     }
                 }
-                EventKind::Admit(r) => self.on_arrive(r, trace, ev.time)?,
-                EventKind::DieOpDone(c) => self.on_die_done(c, ev.time),
-                EventKind::BusDone(c) => self.on_bus_done(c, ev.time),
+                EventKind::Admit(r) => self.on_arrive(r, trace, time)?,
+                EventKind::DieOpDone(c) => self.on_die_done(c, time),
+                EventKind::BusDone(c) => self.on_bus_done(c, time),
             }
         }
 
@@ -548,8 +575,11 @@ impl<P: Probe> Simulator<P> {
     fn apply_reallocations(&mut self, now: u64) {
         while self.next_realloc < self.realloc.len() && self.realloc[self.next_realloc].at_ns <= now
         {
-            let r = self.realloc[self.next_realloc].clone();
-            for (tenant, channels, policy) in r.entries {
+            // Entries are applied exactly once, so taking them out of the
+            // schedule avoids cloning the channel lists on application.
+            let at_ns = self.realloc[self.next_realloc].at_ns;
+            let entries = std::mem::take(&mut self.realloc[self.next_realloc].entries);
+            for (tenant, channels, policy) in entries {
                 let state = self.layout.tenant_mut(tenant);
                 state.channels = ChannelSet::new(&channels, self.cfg.channels)
                     .expect("validated in schedule_reallocation");
@@ -561,7 +591,7 @@ impl<P: Probe> Simulator<P> {
                     channel_mask |= 1u64 << ch;
                 }
                 self.probe.on_realloc(&ReallocApply {
-                    at_ns: r.at_ns,
+                    at_ns,
                     tenant: tenant as u16,
                     policy: match policy {
                         None => 0,
@@ -573,6 +603,10 @@ impl<P: Probe> Simulator<P> {
             }
             self.next_realloc += 1;
         }
+        self.next_realloc_at = self
+            .realloc
+            .get(self.next_realloc)
+            .map_or(u64::MAX, |r| r.at_ns);
     }
 
     /// Execution unit of a flat plane index.
@@ -621,12 +655,13 @@ impl<P: Probe> Simulator<P> {
             Op::Write => {
                 for lpn in io.pages() {
                     let tenant_state = self.layout.tenant(io.tenant as usize);
+                    // Reduce into the tenant's logical space once; plane
+                    // selection and the FTL write below share the result.
+                    let lpn = lpn % tenant_state.lpn_space;
                     let plane = match tenant_state.policy {
-                        PageAllocPolicy::Static => alloc::static_plane(
-                            &self.geo,
-                            tenant_state,
-                            lpn % tenant_state.lpn_space,
-                        ),
+                        PageAllocPolicy::Static => {
+                            alloc::static_plane(&self.geo, tenant_state, lpn)
+                        }
                         PageAllocPolicy::Dynamic => {
                             self.fill_plane_backlogs();
                             let tenant_state = self.layout.tenant(io.tenant as usize);
@@ -639,7 +674,7 @@ impl<P: Probe> Simulator<P> {
                             )
                         }
                     };
-                    let outcome = self.ftl.write(io.tenant, lpn, plane)?;
+                    let outcome = self.ftl.write_in_space(io.tenant, lpn, plane)?;
                     let unit = self.unit_of_plane(self.geo.plane_index(&outcome.addr)) as u32;
                     let channel = outcome.addr.channel;
                     self.spawn_cmd(
@@ -726,7 +761,16 @@ impl<P: Probe> Simulator<P> {
         };
         let d = &mut self.units[unit as usize];
         d.backlog += 1;
-        d.queue.push(id, class);
+        // Uncontended fast path: an idle unit with an empty queue starts
+        // the command without the queue round trip. `push_pop_empty` keeps
+        // the scheduler's sequence/bypass state exactly as push + pop
+        // would, and the probe/record order below is unchanged.
+        let fast_start = !d.busy && d.queue.is_empty();
+        if fast_start {
+            d.queue.push_pop_empty(id, class, self.cfg.sched_policy);
+        } else {
+            d.queue.push(id, class);
+        }
         let queue_depth = d.backlog;
         self.phases.queue_depth.record(queue_depth as u64);
         self.probe.on_cmd_issue(&CmdIssue {
@@ -739,7 +783,11 @@ impl<P: Probe> Simulator<P> {
             channel,
             queue_depth,
         });
-        self.try_start_die(unit as usize, now);
+        if fast_start {
+            self.start_die_cmd(unit as usize, id, now);
+        } else {
+            self.try_start_die(unit as usize, now);
+        }
         Ok(())
     }
 
@@ -768,6 +816,13 @@ impl<P: Probe> Simulator<P> {
         let Some(cmd_id) = self.units[unit].queue.pop(self.cfg.sched_policy) else {
             return;
         };
+        self.start_die_cmd(unit, cmd_id, now);
+    }
+
+    /// Marks the unit busy and starts `cmd_id`'s first unit-holding phase.
+    /// The command must already be dequeued (or fast-path bypassed).
+    #[inline]
+    fn start_die_cmd(&mut self, unit: usize, cmd_id: CmdId, now: u64) {
         self.units[unit].busy = true;
         // Close the unit-queue phase and open the next one.
         let (class, is_gc, waited) = {

@@ -1,0 +1,280 @@
+//! Oracle equivalence for the timer-wheel event core.
+//!
+//! The engine's correctness argument leans on [`EventQueue`] serving
+//! events in exactly the `(time, seq)` order a binary heap would — the
+//! golden captures pin whole-simulation behaviour, and these tests pin
+//! the queue itself. A reference model (a plain `BinaryHeap` over the
+//! same `(time, seq)` order, the structure the wheel replaced) runs the
+//! same seeded randomized operation interleavings side by side with the
+//! wheel, and every observable — popped events, peeked times, lengths —
+//! must agree, including same-tick bursts, per-level delta magnitudes,
+//! and times at the far horizon (overflow list, `u64::MAX`).
+
+use flash_sim::event::{Event, EventKind, EventQueue};
+use simrng::{Rng, SimRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The structure the wheel replaced: a min-heap over `(time, seq)` with
+/// the same push-side sequence numbering.
+#[derive(Default)]
+struct OracleHeap {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl OracleHeap {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    fn pop_before(&mut self, limit: u64) -> Option<Event> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.time < limit) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A time delta spanning every placement class the wheel distinguishes:
+/// same tick, within the level-0 slot, each higher level's magnitude,
+/// beyond the 48-bit horizon (overflow list), and saturation at
+/// `u64::MAX`.
+fn random_delta(rng: &mut SimRng) -> u64 {
+    match rng.gen_range(0u32..12) {
+        0 | 1 => 0,
+        2 => rng.gen_range(1u64..64),
+        3 => rng.gen_range(64u64..4096),
+        4 => rng.gen_range(4096u64..262_144),
+        5 => rng.gen_range(1u64 << 18..1 << 24),
+        6 => rng.gen_range(1u64 << 24..1 << 30),
+        7 => rng.gen_range(1u64 << 30..1 << 42),
+        8 => rng.gen_range(1u64 << 42..1 << 48),
+        9 => rng.gen_range(1u64 << 48..1 << 52),
+        10 => rng.gen_range(1u64 << 52..1 << 60),
+        _ => u64::MAX,
+    }
+}
+
+fn random_kind(rng: &mut SimRng) -> EventKind {
+    let id = rng.gen_range(0u32..1024);
+    match rng.gen_range(0u32..4) {
+        0 => EventKind::Arrive(id),
+        1 => EventKind::Admit(id),
+        2 => EventKind::DieOpDone(id),
+        _ => EventKind::BusDone(id),
+    }
+}
+
+/// Randomized push/pop/pop_before/peek interleavings: every observable of
+/// the wheel must equal the reference heap's, then a full drain must
+/// produce identical sequences. Pushes respect the discrete-event
+/// contract (never before the last served time), exactly as the engine's
+/// do.
+#[test]
+fn random_interleavings_match_reference_heap() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0xE0 + seed);
+        let mut wheel = EventQueue::new();
+        let mut heap = OracleHeap::default();
+        // Lower bound for new event times: the last served time or
+        // `advance_to` target, per the discrete-event contract.
+        let mut lower = 0u64;
+        for _ in 0..2000 {
+            match rng.gen_range(0u32..10) {
+                0..=4 => {
+                    let time = lower.saturating_add(random_delta(&mut rng));
+                    let kind = random_kind(&mut rng);
+                    wheel.push(time, kind);
+                    heap.push(time, kind);
+                }
+                5 | 6 => {
+                    let got = wheel.pop();
+                    assert_eq!(got, heap.pop(), "pop diverged (seed {seed})");
+                    if let Some(ev) = got {
+                        lower = ev.time;
+                    }
+                }
+                7 | 8 => {
+                    let limit = lower.saturating_add(random_delta(&mut rng));
+                    let got = wheel.pop_before(limit);
+                    assert_eq!(
+                        got,
+                        heap.pop_before(limit),
+                        "pop_before({limit}) diverged (seed {seed})"
+                    );
+                    match got {
+                        Some(ev) => lower = ev.time,
+                        None => {
+                            // Nothing pending before `limit`: the engine
+                            // would advance the cursor and schedule there.
+                            wheel.advance_to(limit);
+                            lower = lower.max(limit);
+                        }
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        wheel.peek_time(),
+                        heap.peek_time(),
+                        "peek diverged (seed {seed})"
+                    );
+                    assert_eq!(wheel.len(), heap.len(), "len diverged (seed {seed})");
+                    assert_eq!(wheel.is_empty(), heap.len() == 0, "seed {seed}");
+                }
+            }
+        }
+        loop {
+            let got = wheel.pop();
+            assert_eq!(got, heap.pop(), "drain diverged (seed {seed})");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.len(), 0);
+    }
+}
+
+/// Bursts of events pushed at identical times must pop in push (seq)
+/// order — the FIFO property the per-slot intrusive lists and the ready
+/// buffer's seq sort provide — interleaved correctly across a handful of
+/// distinct tick values.
+#[test]
+fn same_tick_bursts_pop_in_push_order() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(0xB0 + seed);
+        let mut wheel = EventQueue::new();
+        let mut heap = OracleHeap::default();
+        // A few distinct times, one of them possibly at the far horizon;
+        // pushes hop between them so same-time events get non-adjacent
+        // sequence numbers.
+        let mut times: Vec<u64> = (0..rng.gen_range(2u64..6))
+            .map(|_| random_delta(&mut rng))
+            .collect();
+        times.push(0); // always exercise the cursor's own tick
+        for _ in 0..rng.gen_range(64usize..256) {
+            let t = times[rng.gen_range(0usize..times.len())];
+            let kind = random_kind(&mut rng);
+            wheel.push(t, kind);
+            heap.push(t, kind);
+        }
+        let mut prev: Option<Event> = None;
+        loop {
+            let got = wheel.pop();
+            assert_eq!(got, heap.pop(), "seed {seed}");
+            let Some(ev) = got else { break };
+            if let Some(p) = prev {
+                assert!(
+                    (p.time, p.seq) < (ev.time, ev.seq),
+                    "served out of (time, seq) order (seed {seed})"
+                );
+            }
+            prev = Some(ev);
+        }
+    }
+}
+
+/// The engine's arrival-cursor merge: a sorted trace is consumed through
+/// `pop_before(arrival)` + `advance_to(arrival)` instead of being heaped
+/// up front. Served `(time, kind)` sequences must match a reference
+/// engine that pushes every arrival into the heap first (sequence
+/// numbers `0..n-1`, the old engine's shape) — including time ties,
+/// where arrivals must win and order among themselves by trace index.
+#[test]
+fn arrival_cursor_merge_matches_heaped_arrivals() {
+    // Deterministic follow-up work keyed off the served event, so both
+    // engines issue identical pushes: arrivals fan out a die op (and
+    // sometimes a bus transfer), die ops sometimes re-admit. Zero deltas
+    // create service events tied with later arrivals.
+    fn followups(time: u64, kind: EventKind) -> Vec<(u64, EventKind)> {
+        match kind {
+            EventKind::Arrive(r) => {
+                let d = (r as u64).wrapping_mul(2_654_435_761) % 97;
+                let mut out = vec![(time + d, EventKind::DieOpDone(r))];
+                if r % 3 == 0 {
+                    out.push((time + d / 2, EventKind::BusDone(r)));
+                }
+                out
+            }
+            EventKind::DieOpDone(c) if c % 4 == 0 => {
+                vec![(time + (c as u64 % 13), EventKind::Admit(c))]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(0xAC + seed);
+        // Non-decreasing arrival times with frequent same-tick bursts.
+        let mut arrivals = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..rng.gen_range(50usize..300) {
+            if rng.gen_range(0u32..3) != 0 {
+                t += rng.gen_range(0u64..50);
+            }
+            arrivals.push(t);
+        }
+
+        // Reference: every arrival heaped up front with seqs 0..n-1.
+        let mut heap = OracleHeap::default();
+        for (i, &at) in arrivals.iter().enumerate() {
+            heap.push(at, EventKind::Arrive(i as u32));
+        }
+        let mut want = Vec::new();
+        while let Some(ev) = heap.pop() {
+            want.push((ev.time, ev.kind));
+            for (ft, fk) in followups(ev.time, ev.kind) {
+                heap.push(ft, fk);
+            }
+        }
+
+        // Wheel: arrivals merged at pop time via the cursor.
+        let mut wheel = EventQueue::new();
+        let mut cursor = 0usize;
+        let mut got = Vec::new();
+        loop {
+            let (time, kind) = if cursor < arrivals.len() {
+                let at = arrivals[cursor];
+                match wheel.pop_before(at) {
+                    Some(ev) => (ev.time, ev.kind),
+                    None => {
+                        wheel.advance_to(at);
+                        let r = cursor as u32;
+                        cursor += 1;
+                        (at, EventKind::Arrive(r))
+                    }
+                }
+            } else {
+                match wheel.pop() {
+                    Some(ev) => (ev.time, ev.kind),
+                    None => break,
+                }
+            };
+            got.push((time, kind));
+            for (ft, fk) in followups(time, kind) {
+                wheel.push(ft, fk);
+            }
+        }
+
+        assert_eq!(got.len(), want.len(), "seed {seed}");
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g, w, "event {i} diverged (seed {seed})");
+        }
+    }
+}

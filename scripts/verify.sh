@@ -12,6 +12,14 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+# Event-core oracle gate: the timer-wheel EventQueue must serve the exact
+# (time, seq) sequence a reference binary heap serves over seeded random
+# interleavings — same-tick bursts, horizon overflow, and the engine's
+# arrival-cursor merge pattern included. Runs as part of the workspace
+# tests above too; kept explicit so a failure names the equivalence suite.
+echo "==> event-core oracle equivalence suite"
+cargo test -q --offline -p flash-sim --test event_oracle
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check
