@@ -1,0 +1,255 @@
+//! Fleet-scale throughput and core-scaling — the tracked `fleet_1k` gate.
+//!
+//! Runs the [`fleet::FleetConfig::scenario_1k`] scenario (1000 tenants
+//! across 64 device shards under the two-tier keeper) twice: once pinned
+//! to a single worker and once across `max(4, available cores)` workers,
+//! both measured as median-of-N wall time over the whole `run_fleet`
+//! call (stream generation, placement, every shard simulation, the
+//! re-placement hook, and the merge). From those two runs it derives
+//!
+//! * `events_per_sec` — merged discrete events over wall time at the
+//!   multi-worker setting (the tracked throughput number),
+//! * `speedup_vs_1_worker` — multi-worker over single-worker throughput,
+//! * `core_scaling_efficiency` — that speedup divided by the worker
+//!   count, honest about the machine: `cores` records what the container
+//!   actually had, and on a single hardware thread the speedup is ~1.0
+//!   by construction, not a regression.
+//!
+//! Determinism makes the comparison exact: both settings produce
+//! byte-identical merged results (the bench asserts digest equality), so
+//! the timing difference is pure scheduling, never different work.
+//!
+//! When `SSDKEEPER_BENCH_JSON` names a report, a `fleet_1k` entry is
+//! spliced into its `workloads` object without disturbing the other
+//! entries. The `baseline` is the first run ever recorded; because the
+//! `sim_throughput` bench rewrites the whole file with only its own
+//! workloads, the splice looks for the prior `fleet_1k` baseline in
+//! `SSDKEEPER_BENCH_PREV` (the pre-run snapshot `scripts/bench.sh`
+//! takes) before falling back to the report itself.
+//!
+//! Env knobs: `SSDKEEPER_BENCH_ITERS` (default 3 here — a full fleet run
+//! is the unit of work), `SSDKEEPER_BENCH_WARMUP` (default 1),
+//! `SSDKEEPER_BENCH_JSON`, `SSDKEEPER_BENCH_PREV`.
+
+use bench::harness::black_box;
+use fleet::{run_fleet, FleetConfig, FleetOutcome};
+use parallel::PoolConfig;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Sample {
+    outcome: FleetOutcome,
+    elapsed: Duration,
+}
+
+/// Median-of-N wall time for the scenario at a fixed worker count.
+fn measure(cfg: &FleetConfig, iters: usize, warmup: usize) -> Sample {
+    for _ in 0..warmup {
+        black_box(run_fleet(cfg).expect("fleet bench scenario runs"));
+    }
+    let mut samples: Vec<Sample> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            let outcome = run_fleet(cfg).expect("fleet bench scenario runs");
+            Sample {
+                elapsed: start.elapsed(),
+                outcome,
+            }
+        })
+        .collect();
+    samples.sort_by_key(|s| s.elapsed);
+    samples.swap_remove((samples.len() - 1) / 2)
+}
+
+fn main() {
+    let iters = env_usize("SSDKEEPER_BENCH_ITERS", 3).max(1);
+    let warmup = env_usize("SSDKEEPER_BENCH_WARMUP", 1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.max(4);
+    let cfg = FleetConfig::scenario_1k(42);
+
+    let single = measure(
+        &FleetConfig {
+            pool: PoolConfig::with_workers(1),
+            ..cfg.clone()
+        },
+        iters,
+        warmup,
+    );
+    let multi = measure(
+        &FleetConfig {
+            pool: PoolConfig::with_workers(workers),
+            ..cfg.clone()
+        },
+        iters,
+        warmup,
+    );
+    assert_eq!(
+        single.outcome.summary.digest(),
+        multi.outcome.summary.digest(),
+        "worker count must not change the merged result"
+    );
+
+    let events = multi.outcome.summary.total_events();
+    let eps = |s: &Sample| events as f64 / s.elapsed.as_secs_f64().max(1e-9);
+    let eps_1 = eps(&single);
+    let eps_n = eps(&multi);
+    let speedup = eps_n / eps_1;
+    let efficiency = speedup / workers as f64;
+    println!(
+        "fleet_scale/fleet_1k tenants={} devices={} events={events} iters={iters}",
+        cfg.tenants, cfg.devices
+    );
+    println!(
+        "fleet_scale/fleet_1k 1 worker: median={:?}  {:.0} events/s",
+        single.elapsed, eps_1
+    );
+    println!(
+        "fleet_scale/fleet_1k {workers} workers ({cores} cores): median={:?}  {:.0} events/s  \
+         speedup {speedup:.2}x  efficiency {:.0}%",
+        multi.elapsed,
+        eps_n,
+        efficiency * 100.0
+    );
+    println!(
+        "fleet_scale/fleet_1k digest 0x{:016x}",
+        multi.outcome.summary.digest()
+    );
+
+    if let Ok(path) = std::env::var("SSDKEEPER_BENCH_JSON") {
+        write_entry(
+            &path, &cfg, cores, workers, events, &single, &multi, eps_1, eps_n,
+        );
+    }
+}
+
+/// Reads `"key": <number>` out of `section`'s object, scanning forward
+/// from the first occurrence of the section name in `text`.
+fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\""))?;
+    let rest = &text[sec..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let after = &rest[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The stored `fleet_1k` baseline from a report text, if present.
+fn stored_baseline(text: &str, workload: &str) -> Option<(u64, u64, f64)> {
+    let start = text.find(&format!("\"{workload}\""))?;
+    let scoped = &text[start..];
+    match (
+        json_number(scoped, "baseline", "events"),
+        json_number(scoped, "baseline", "median_ns"),
+        json_number(scoped, "baseline", "events_per_sec"),
+    ) {
+        (Some(e), Some(m), Some(eps)) => Some((e as u64, m as u64, eps)),
+        _ => None,
+    }
+}
+
+/// Removes `"name": { ... }` (and the comma joining it to its neighbor)
+/// from a workloads object, by brace-depth scan — no JSON library.
+fn strip_entry(text: &str, name: &str) -> String {
+    let Some(key) = text.find(&format!("\"{name}\"")) else {
+        return text.to_string();
+    };
+    let Some(open) = text[key..].find('{').map(|i| key + i) else {
+        return text.to_string();
+    };
+    let mut depth = 0usize;
+    let mut end = text.len();
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let before = text[..key].trim_end();
+    if before.ends_with(',') {
+        // Not the first entry: also drop the comma that joined it.
+        format!("{}{}", &text[..before.len() - 1], &text[end..])
+    } else {
+        // First entry: drop the comma in front of its successor instead.
+        let after_ws = text[end..].len() - text[end..].trim_start().len();
+        let mut cut = end;
+        if text[end..].trim_start().starts_with(',') {
+            cut = end + after_ws + 1;
+        }
+        format!("{}{}", &text[..key], &text[cut..])
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_entry(
+    path: &str,
+    cfg: &FleetConfig,
+    cores: usize,
+    workers: usize,
+    events: u64,
+    single: &Sample,
+    multi: &Sample,
+    eps_1: f64,
+    eps_n: f64,
+) {
+    let median_ns = multi.elapsed.as_nanos() as u64;
+    let single_ns = single.elapsed.as_nanos() as u64;
+    // Baseline: prefer the pre-bench snapshot (sim_throughput rewrites
+    // the live report without fleet_1k), then the live report, then the
+    // fresh numbers (first run ever).
+    let prev = std::env::var("SSDKEEPER_BENCH_PREV")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .unwrap_or_default();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let (base_events, base_median, base_eps) = stored_baseline(&prev, "fleet_1k")
+        .or_else(|| stored_baseline(&existing, "fleet_1k"))
+        .unwrap_or((events, median_ns, eps_n));
+    let speedup_vs_base = eps_n / base_eps;
+    let speedup = eps_n / eps_1;
+    let entry = format!(
+        "    \"fleet_1k\": {{\n      \"tenants\": {},\n      \"devices\": {},\n      \
+         \"requests_per_tenant\": {},\n      \"cores\": {cores},\n      \"workers\": {workers},\n      \
+         \"baseline\": {{ \"events\": {base_events}, \"median_ns\": {base_median}, \
+         \"events_per_sec\": {base_eps:.1} }},\n      \
+         \"current\": {{ \"events\": {events}, \"median_ns\": {median_ns}, \
+         \"events_per_sec\": {eps_n:.1} }},\n      \
+         \"single_worker\": {{ \"median_ns\": {single_ns}, \"events_per_sec\": {eps_1:.1} }},\n      \
+         \"speedup_vs_1_worker\": {speedup:.3},\n      \
+         \"core_scaling_efficiency\": {:.3},\n      \
+         \"speedup_vs_baseline\": {speedup_vs_base:.3}\n    }}",
+        cfg.tenants,
+        cfg.devices,
+        cfg.requests_per_tenant,
+        speedup / workers as f64,
+    );
+    let cleaned = strip_entry(&existing, "fleet_1k");
+    let body = match cleaned.rfind("\n  }\n}") {
+        // Splice as the last entry of the existing workloads object.
+        Some(tail) => format!("{},\n{entry}{}", &cleaned[..tail], &cleaned[tail..]),
+        // No (usable) report yet: write a fresh skeleton.
+        None => format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": {{\n{entry}\n  }}\n}}\n"
+        ),
+    };
+    std::fs::write(path, body).expect("write BENCH json");
+    println!("fleet_scale: fleet_1k speedup vs baseline: {speedup_vs_base:.3}x");
+    println!("fleet_scale: wrote {path}");
+}

@@ -20,7 +20,7 @@ use exp::fig5::{
 };
 use ssdkeeper::keeper::{Keeper, KeeperConfig};
 use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
-use ssdkeeper::obs::{encode_events, EventRecorder, RunSpec};
+use ssdkeeper::obs::{EventRecorder, RunSpec};
 use ssdkeeper::ChannelAllocator;
 use workloads::msr::paper_mix_profiles;
 
@@ -94,7 +94,7 @@ fn write_trace(path: &str, cfg: &Fig5Config, allocator: &ChannelAllocator) {
     keeper
         .run(RunSpec::adapt_once(&trace, &[cfg.lpn_space; 4]).with_probe(&mut rec))
         .expect("instrumented Mix1 run");
-    let bytes = encode_events(rec.events(), rec.dropped());
+    let bytes = rec.encode();
     std::fs::write(path, &bytes).expect("write --trace-out file");
     eprintln!(
         "fig5: wrote {} events ({} dropped, {} bytes) to {path}",

@@ -36,6 +36,16 @@ pub struct TenantMetrics {
     pub gc_ns: u64,
 }
 
+impl TenantMetrics {
+    /// Folds another tenant's accumulators in (histograms bucket-wise).
+    pub fn merge(&mut self, other: &TenantMetrics) {
+        self.read.merge(&other.read);
+        self.write.merge(&other.write);
+        self.gc_cmds += other.gc_cmds;
+        self.gc_ns += other.gc_ns;
+    }
+}
+
 /// Bus-level accumulators for one channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelMetrics {
@@ -49,6 +59,16 @@ pub struct ChannelMetrics {
     pub issues: u64,
 }
 
+impl ChannelMetrics {
+    /// Folds another channel's counters in.
+    pub fn merge(&mut self, other: &ChannelMetrics) {
+        self.busy_ns += other.busy_ns;
+        self.acquires += other.acquires;
+        self.bus_wait_ns += other.bus_wait_ns;
+        self.issues += other.issues;
+    }
+}
+
 /// Device-wide GC work counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcMetrics {
@@ -60,6 +80,16 @@ pub struct GcMetrics {
     pub erased_blocks: u64,
     /// Die time consumed by GC composite operations.
     pub busy_ns: u64,
+}
+
+impl GcMetrics {
+    /// Folds another device's GC counters in.
+    pub fn merge(&mut self, other: &GcMetrics) {
+        self.passes += other.passes;
+        self.moved_pages += other.moved_pages;
+        self.erased_blocks += other.erased_blocks;
+        self.busy_ns += other.busy_ns;
+    }
 }
 
 /// One fixed-width timeline window.
@@ -151,6 +181,81 @@ impl MetricsSummary {
             1.0
         } else {
             (host + self.gc.moved_pages) as f64 / host as f64
+        }
+    }
+
+    /// Folds another summary into this one. Histograms and counters merge
+    /// bucket-wise; `first_event_ns`/`last_event_ns` take the min/max of
+    /// the two observed spans; timelines with the same window width merge
+    /// window-by-window (simulated clocks are aligned: both start at 0).
+    /// If the window widths differ the merged timeline is dropped and
+    /// windowing marked disabled — the counters would be incomparable.
+    ///
+    /// Equivalent to [`MetricsSummary::merge_offset`] with zero offsets:
+    /// tenant `i` of `other` folds into tenant `i` of `self`.
+    pub fn merge(&mut self, other: &MetricsSummary) {
+        self.merge_offset(other, 0, 0);
+    }
+
+    /// [`MetricsSummary::merge`] with re-indexing: tenant `i` of `other`
+    /// folds into tenant `tenant_base + i` of `self`, channel `c` into
+    /// `channel_base + c`. This is how a fleet of per-device summaries
+    /// merges into one device-spanning summary — each shard's local
+    /// tenant/channel ids land in a disjoint global range, so no shard's
+    /// histogram is conflated with another's.
+    pub fn merge_offset(
+        &mut self,
+        other: &MetricsSummary,
+        tenant_base: usize,
+        channel_base: usize,
+    ) {
+        if tenant_base + other.tenants.len() > self.tenants.len() {
+            self.tenants
+                .resize(tenant_base + other.tenants.len(), TenantMetrics::default());
+        }
+        for (i, t) in other.tenants.iter().enumerate() {
+            self.tenants[tenant_base + i].merge(t);
+        }
+        if channel_base + other.channels.len() > self.channels.len() {
+            self.channels.resize(
+                channel_base + other.channels.len(),
+                ChannelMetrics::default(),
+            );
+        }
+        for (i, c) in other.channels.iter().enumerate() {
+            self.channels[channel_base + i].merge(c);
+        }
+        self.gc.merge(&other.gc);
+
+        if self.events_observed == 0 {
+            self.window_ns = other.window_ns;
+            self.first_event_ns = other.first_event_ns;
+            self.last_event_ns = other.last_event_ns;
+        } else if other.events_observed > 0 {
+            self.first_event_ns = self.first_event_ns.min(other.first_event_ns);
+            self.last_event_ns = self.last_event_ns.max(other.last_event_ns);
+        }
+        self.events_observed += other.events_observed;
+
+        if self.window_ns == other.window_ns {
+            if self.timeline.len() < other.timeline.len() {
+                for idx in self.timeline.len()..other.timeline.len() {
+                    self.timeline.push(WindowSample {
+                        start_ns: idx as u64 * self.window_ns,
+                        ..WindowSample::default()
+                    });
+                }
+            }
+            for (w, o) in self.timeline.iter_mut().zip(other.timeline.iter()) {
+                w.completes += o.completes;
+                w.gc_completes += o.gc_completes;
+                w.gc_passes += o.gc_passes;
+                w.queue_depth_sum += o.queue_depth_sum;
+                w.queue_depth_samples += o.queue_depth_samples;
+            }
+        } else if other.events_observed > 0 {
+            self.timeline.clear();
+            self.window_ns = 0;
         }
     }
 }
@@ -473,6 +578,81 @@ mod tests {
         let mut off = MetricsProbe::new(0);
         replay([issue(10, 0, 0, 3)].iter(), &mut off);
         assert!(off.summary().timeline.is_empty());
+    }
+
+    /// Splitting one event stream across two probes and merging their
+    /// summaries equals one probe observing the whole stream.
+    #[test]
+    fn merge_equals_union_of_streams() {
+        let events = [
+            issue(10, 0, 0, 3),
+            complete(50, 0, CmdClass::Write, false, 40),
+            issue(120, 1, 1, 5),
+            complete(260, 1, CmdClass::Read, false, 140),
+            complete(300, 0, CmdClass::Write, true, 900),
+        ];
+        let mut whole = MetricsProbe::new(100);
+        replay(events.iter(), &mut whole);
+
+        let mut a = MetricsProbe::new(100);
+        replay(events[..2].iter(), &mut a);
+        let mut b = MetricsProbe::new(100);
+        replay(events[2..].iter(), &mut b);
+        let mut merged = a.into_summary();
+        merged.merge(&b.into_summary());
+        assert_eq!(merged, whole.into_summary());
+
+        // Merging into an empty default adopts the other side wholesale.
+        let mut empty = MetricsSummary::default();
+        empty.merge(&merged);
+        assert_eq!(empty, merged);
+    }
+
+    /// Offsets re-index shard-local tenants/channels into disjoint global
+    /// ranges: two identical one-tenant shards merge into two distinct
+    /// global tenants, not one doubled tenant.
+    #[test]
+    fn merge_offset_keeps_shards_disjoint() {
+        let shard = || {
+            let mut p = MetricsProbe::new(0);
+            replay(
+                [
+                    issue(10, 0, 0, 1),
+                    complete(60, 0, CmdClass::Write, false, 50),
+                ]
+                .iter(),
+                &mut p,
+            );
+            p.into_summary()
+        };
+        let mut fleet = MetricsSummary::default();
+        fleet.merge_offset(&shard(), 0, 0);
+        fleet.merge_offset(&shard(), 4, 8);
+        assert_eq!(fleet.tenants.len(), 5);
+        assert_eq!(fleet.channels.len(), 9);
+        assert_eq!(fleet.tenants[0].write.count, 1);
+        assert_eq!(fleet.tenants[4].write.count, 1);
+        assert!(fleet.tenants[1..4].iter().all(|t| t.write.count == 0));
+        assert_eq!(fleet.channels[0].issues, 1);
+        assert_eq!(fleet.channels[8].issues, 1);
+        assert_eq!(fleet.events_observed, 4);
+        assert_eq!(fleet.host_writes(), 2);
+    }
+
+    /// Timelines with mismatched window widths cannot be summed
+    /// window-by-window; the merge drops the timeline rather than lie.
+    #[test]
+    fn merge_with_mismatched_windows_disables_timeline() {
+        let probe_with_window = |w: u64| {
+            let mut p = MetricsProbe::new(w);
+            replay([issue(10, 0, 0, 1)].iter(), &mut p);
+            p.into_summary()
+        };
+        let mut a = probe_with_window(100);
+        a.merge(&probe_with_window(200));
+        assert_eq!(a.window_ns, 0);
+        assert!(a.timeline.is_empty());
+        assert_eq!(a.events_observed, 2, "histograms still merged");
     }
 
     #[test]

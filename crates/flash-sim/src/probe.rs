@@ -407,6 +407,17 @@ impl EventRecorder {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Serializes the recording as SSDP, taking the retained events and
+    /// the drop counter from the *same* snapshot, so the header's
+    /// `dropped` field can never disagree with the body. Prefer this over
+    /// calling [`encode_events`] with a hand-carried counter: a decode of
+    /// the result always yields exactly [`EventRecorder::to_vec`] and
+    /// [`EventRecorder::dropped`], and replaying those decoded events is
+    /// byte-equivalent to replaying the live ring.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_events(self.events(), self.dropped)
+    }
 }
 
 impl Probe for EventRecorder {
@@ -918,6 +929,39 @@ mod tests {
         }
         assert_eq!(rec.dropped(), (total - capacity) as u64);
         assert_eq!(rec.len(), capacity);
+    }
+
+    /// Satellite contract: a capture taken *after* the ring overflowed
+    /// must stay self-consistent end to end — the SSDP header's `dropped`
+    /// equals the recorder's counter, the decoded body equals the
+    /// retained ring, and replaying the decoded events produces the same
+    /// metrics as replaying the live ring.
+    #[test]
+    fn overflowed_recorder_capture_replays_consistently() {
+        let mut rec = EventRecorder::with_capacity(4);
+        // Three passes of the 7-event sample stream: 21 pushes through a
+        // 4-slot ring leave 17 dropped.
+        for _ in 0..3 {
+            replay(&sample_events(), &mut rec);
+        }
+        assert!(rec.dropped() > 0, "fixture must actually overflow");
+        assert_eq!(rec.dropped(), 17);
+
+        let bytes = rec.encode();
+        let (decoded, dropped) = decode_events(&bytes).unwrap();
+        assert_eq!(dropped, rec.dropped(), "header drop count must match ring");
+        assert_eq!(decoded, rec.to_vec(), "body must be the retained events");
+
+        // Replay parity: live ring vs decoded capture feed a MetricsProbe
+        // to identical summaries (Debug rendering covers every field).
+        let mut live = crate::metrics::MetricsProbe::new(1_000_000);
+        replay(rec.events(), &mut live);
+        let mut offline = crate::metrics::MetricsProbe::new(1_000_000);
+        replay(&decoded, &mut offline);
+        assert_eq!(
+            format!("{:?}", live.summary()),
+            format!("{:?}", offline.summary())
+        );
     }
 
     #[test]

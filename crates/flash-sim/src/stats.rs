@@ -81,11 +81,16 @@ impl LatencyStats {
     /// Approximate percentile (0.0..=1.0) from the log₂ histogram; the
     /// upper edge of the bucket containing the quantile is returned, so the
     /// estimate errs high by at most 2×.
+    ///
+    /// Edge-case contract (shared with [`PhaseHist::percentile`]): an
+    /// empty histogram reports 0 for every `q`; out-of-range `q` clamps
+    /// into `[0, 1]` (`q < 0` behaves like 0, `q > 1` like 1); a NaN `q`
+    /// is treated as 0. No input can panic or index past the last bucket.
     pub fn percentile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.hist.iter().enumerate() {
@@ -214,12 +219,14 @@ impl PhaseHist {
     /// `1 << i` of the bucket containing the quantile, so the estimate errs
     /// high by at most 2×. Bucket 0 (samples equal to 0) reports 0, and an
     /// empty histogram reports 0 for every quantile. Samples clamped into
-    /// the last bucket report its edge `1 << 31`.
+    /// the last bucket report its edge `1 << 31`. Out-of-range and NaN `q`
+    /// follow the same contract as [`LatencyStats::percentile_ns`]: clamp
+    /// into `[0, 1]`, NaN behaves like 0, never panic.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -476,6 +483,46 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    /// Regression for the percentile edge-case contract: empty histograms
+    /// report 0, out-of-range q clamps, NaN q behaves like q = 0, and no
+    /// input indexes past the last bucket — for both histogram types.
+    #[test]
+    fn percentile_edge_cases_never_panic() {
+        let empty = LatencyStats::new();
+        for q in [f64::NAN, -1.0, -0.0, 0.0, 0.5, 1.0, 2.0, f64::INFINITY] {
+            assert_eq!(empty.percentile_ns(q), 0, "empty hist, q = {q}");
+            assert_eq!(
+                PhaseHist::default().percentile(q),
+                0,
+                "empty phase, q = {q}"
+            );
+        }
+
+        let mut s = LatencyStats::new();
+        let mut h = PhaseHist::default();
+        for v in [100u64, 200, 400, 800] {
+            s.record(v);
+            h.record(v);
+        }
+        // q < 0 and NaN clamp to 0; q > 1 (and +inf) clamp to 1.
+        assert_eq!(s.percentile_ns(-3.0), s.percentile_ns(0.0));
+        assert_eq!(s.percentile_ns(f64::NAN), s.percentile_ns(0.0));
+        assert_eq!(s.percentile_ns(7.5), s.percentile_ns(1.0));
+        assert_eq!(s.percentile_ns(f64::INFINITY), s.percentile_ns(1.0));
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        assert_eq!(h.percentile(7.5), h.percentile(1.0));
+
+        // Samples in the very last bucket with q past 1 still resolve to
+        // the final edge, not an out-of-bounds index.
+        let mut top = LatencyStats::new();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile_ns(99.0), 1u64 << 63);
+        let mut ptop = PhaseHist::default();
+        ptop.record(u64::MAX);
+        assert_eq!(ptop.percentile(99.0), 1u64 << (PHASE_BUCKETS - 1));
     }
 
     #[test]

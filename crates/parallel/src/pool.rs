@@ -219,6 +219,59 @@ mod tests {
         assert_eq!(out, (0..64).collect::<Vec<_>>());
     }
 
+    /// The fleet layer shards work in counts that rarely divide the
+    /// worker count evenly: every remainder class must still come back
+    /// complete and in input order.
+    #[test]
+    fn non_multiple_item_counts_preserve_order() {
+        for workers in [2usize, 3, 4, 7] {
+            for len in [1usize, 5, 7, 13, 63, 65, 101] {
+                let items: Vec<usize> = (0..len).collect();
+                let out = par_map(&PoolConfig::with_workers(workers), &items, |&x| x * 2 + 1);
+                assert_eq!(
+                    out,
+                    (0..len).map(|x| x * 2 + 1).collect::<Vec<_>>(),
+                    "workers {workers}, len {len}"
+                );
+            }
+        }
+    }
+
+    /// A panic in the middle of a worker's claimed range (neither the
+    /// first nor the last item overall) must still surface, even when the
+    /// item count is not a multiple of the worker count.
+    #[test]
+    #[should_panic(expected = "mid-chunk")]
+    fn mid_chunk_panic_propagates_with_ragged_chunks() {
+        let items: Vec<u32> = (0..13).collect();
+        let _ = par_map(&PoolConfig::with_workers(4), &items, |&x| {
+            if x == 6 {
+                panic!("mid-chunk");
+            }
+            x
+        });
+    }
+
+    /// After a mid-chunk panic the pool must not lose the results
+    /// discipline for subsequent calls on the same config: catch the
+    /// unwind, then run a clean map and check it end to end.
+    #[test]
+    fn pool_is_reusable_after_a_panicked_call() {
+        let cfg = PoolConfig::with_workers(3);
+        let items: Vec<u32> = (0..10).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&cfg, &items, |&x| {
+                if x == 7 {
+                    panic!("first call dies");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+        let out = par_map(&cfg, &items, |&x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
     #[test]
     #[should_panic(expected = "boom")]
     fn panics_propagate() {

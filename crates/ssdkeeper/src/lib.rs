@@ -18,6 +18,9 @@
 //! * [`keeper`] — Algorithm 2's online loop: observe under `Shared`,
 //!   predict at `t == T`, re-allocate channels mid-run — driven through
 //!   the unified [`keeper::RunSpec`] session API;
+//! * [`placement`] — the fleet tier above the keeper: deterministic
+//!   bin-packing of tenants onto devices by predicted intensity, with a
+//!   tail-latency-drift re-placement hook (used by `crates/fleet`);
 //! * [`obs`] — the observability surface: probes, event recording, and
 //!   the persisted event codec (re-exported from [`flash_sim::probe`]).
 //!
@@ -50,9 +53,11 @@ pub mod label;
 pub mod learner;
 pub mod model_io;
 pub mod obs;
+pub mod placement;
 pub mod strategy;
 
 pub use allocator::ChannelAllocator;
 pub use features::FeatureVector;
 pub use keeper::{Keeper, KeeperConfig, KeeperError, RunMode, RunOutcome, RunSpec};
+pub use placement::{FleetPlacer, Placement, TenantLoad};
 pub use strategy::Strategy;

@@ -10,7 +10,7 @@
 //! discipline live in [`flash_sim::probe`]'s module docs (and DESIGN.md).
 //!
 //! ```no_run
-//! use ssdkeeper::obs::{EventRecorder, RunSpec, encode_events};
+//! use ssdkeeper::obs::{EventRecorder, RunSpec};
 //! # use ssdkeeper::keeper::{Keeper, KeeperConfig};
 //! # use ssdkeeper::ChannelAllocator;
 //! # use ann::{Activation, Network};
@@ -21,7 +21,7 @@
 //! let outcome = keeper
 //!     .run(RunSpec::adapt_once(&trace, &[1 << 14; 4]).with_probe(&mut rec))
 //!     .unwrap();
-//! let bytes = encode_events(rec.events(), rec.dropped());
+//! let bytes = rec.encode();
 //! # let _ = (outcome, bytes);
 //! ```
 
@@ -51,7 +51,7 @@ mod tests {
             channel: 0,
             waited_ns: 0,
         });
-        let bytes = encode_events(rec.events(), rec.dropped());
+        let bytes = rec.encode();
         let (events, dropped) = decode_events(&bytes).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(dropped, 0);

@@ -1,0 +1,383 @@
+//! Fleet-tier placement: tenants onto devices (tier 1 of the two-tier
+//! keeper).
+//!
+//! The paper's Algorithm 2 partitions the channels of *one* SSD among up
+//! to four tenants. At fleet scale a second decision precedes it: which
+//! device should host each tenant at all. This module implements that
+//! upper tier as deterministic bin-packing on **predicted intensity** —
+//! the same signal the per-device features collector quantizes (requests
+//! observed in one window, see [`workloads::ObservedFeatures`]) — so both
+//! tiers of the keeper read the same evidence.
+//!
+//! A device exposes [`DEVICE_SLOTS`] namespaces (the four tenant slots
+//! the paper's model is built for). A fleet tenant is packed into a
+//! `(device, slot)` pair; multiple tenants sharing a slot are merged into
+//! one device-tenant stream by the fleet layer. Placement is greedy
+//! longest-processing-time: tenants in descending predicted intensity,
+//! each to the least-loaded device, then the least-loaded slot — ties
+//! break toward the lowest index, so the result is a pure function of the
+//! load vector.
+//!
+//! [`FleetPlacer::replace_hottest`] is the re-placement hook: when one
+//! device's observed tail latency drifts past `threshold ×` the fleet
+//! median, the hottest tenant on that device moves to the least-loaded
+//! other device. Only the two affected devices change, so the fleet layer
+//! re-simulates exactly those shards.
+
+use workloads::ObservedFeatures;
+
+use flash_sim::IoRequest;
+
+/// Tenant slots per device — the paper's model partitions channels among
+/// at most this many tenants (see [`crate::features::TENANTS`]).
+pub const DEVICE_SLOTS: usize = crate::features::TENANTS;
+
+/// Predicted load for one fleet tenant, extracted from an observation
+/// prefix of its (single-tenant, tenant-id 0) request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// Fleet-wide tenant id.
+    pub tenant: usize,
+    /// Predicted intensity: requests observed in the window (the raw
+    /// count [`workloads::IntensityScale`] quantizes to a level).
+    pub intensity: f64,
+    /// Read/write characteristic from the same window (1 = read-
+    /// dominated), kept so placement variants can segregate classes.
+    pub read_dominated: bool,
+}
+
+impl TenantLoad {
+    /// Observes the first `window_ns` of a tenant's stream with the
+    /// features collector. The stream must carry tenant id 0 (fleet
+    /// streams are generated untagged; slot mixing re-tags them).
+    pub fn observe(tenant: usize, stream: &[IoRequest], window_ns: u64) -> Self {
+        let obs = ObservedFeatures::collect(stream, 1, window_ns);
+        Self {
+            tenant,
+            intensity: obs.total() as f64,
+            read_dominated: obs.rw_characteristic(0) == 1,
+        }
+    }
+}
+
+/// A fleet placement: every tenant mapped to a `(device, slot)` pair.
+///
+/// Invariant: within each device the non-empty slots form a prefix
+/// `0..n` (the per-device keeper addresses tenants by dense index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `device_of[tenant]` — hosting device.
+    pub device_of: Vec<usize>,
+    /// `slot_of[tenant]` — namespace slot on that device.
+    pub slot_of: Vec<usize>,
+    /// Number of devices placed across.
+    pub devices: usize,
+}
+
+impl Placement {
+    /// Tenants of one device grouped by slot, dense: `out[s]` lists the
+    /// tenant ids sharing slot `s`, ascending; empty trailing slots are
+    /// omitted.
+    pub fn device_slots(&self, device: usize) -> Vec<Vec<usize>> {
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        for t in 0..self.device_of.len() {
+            if self.device_of[t] == device {
+                let s = self.slot_of[t];
+                while slots.len() <= s {
+                    slots.push(Vec::new());
+                }
+                slots[s].push(t);
+            }
+        }
+        while slots.last().is_some_and(Vec::is_empty) {
+            slots.pop();
+        }
+        slots
+    }
+
+    /// Tenants hosted on `device`, ascending by id.
+    pub fn device_tenants(&self, device: usize) -> Vec<usize> {
+        (0..self.device_of.len())
+            .filter(|&t| self.device_of[t] == device)
+            .collect()
+    }
+
+    /// Renumbers one device's occupied slots into a dense prefix after a
+    /// tenant was removed, preserving relative slot order.
+    fn compact_device(&mut self, device: usize) {
+        let mut occupied: Vec<usize> = (0..self.device_of.len())
+            .filter(|&t| self.device_of[t] == device)
+            .map(|t| self.slot_of[t])
+            .collect();
+        occupied.sort_unstable();
+        occupied.dedup();
+        for t in 0..self.device_of.len() {
+            if self.device_of[t] == device {
+                self.slot_of[t] = occupied
+                    .iter()
+                    .position(|&s| s == self.slot_of[t])
+                    .expect("slot is occupied by construction");
+            }
+        }
+    }
+}
+
+/// Deterministic bin-packing placer for a fixed device count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetPlacer {
+    /// Devices available to place onto.
+    pub devices: usize,
+    /// Usable namespace slots per device (≤ [`DEVICE_SLOTS`]).
+    pub slots_per_device: usize,
+}
+
+impl FleetPlacer {
+    /// A placer over `devices` devices with the full four slots each.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices > 0, "fleet needs at least one device");
+        Self {
+            devices,
+            slots_per_device: DEVICE_SLOTS,
+        }
+    }
+
+    /// Greedy LPT bin-packing: descending predicted intensity (ties:
+    /// lowest tenant id), each tenant to the device with the least total
+    /// predicted intensity (ties: lowest device id), then to that
+    /// device's least-loaded slot (ties: lowest slot). A pure function of
+    /// `loads` — identical inputs place identically on every run.
+    pub fn place(&self, loads: &[TenantLoad]) -> Placement {
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        order.sort_by(|&a, &b| {
+            loads[b]
+                .intensity
+                .partial_cmp(&loads[a].intensity)
+                .expect("intensities are finite")
+                .then(loads[a].tenant.cmp(&loads[b].tenant))
+        });
+        let mut device_load = vec![0.0f64; self.devices];
+        let mut slot_load = vec![vec![0.0f64; self.slots_per_device]; self.devices];
+        let mut device_of = vec![0usize; loads.len()];
+        let mut slot_of = vec![0usize; loads.len()];
+        for &i in &order {
+            let d = min_index(&device_load);
+            let s = min_index(&slot_load[d]);
+            device_of[loads[i].tenant] = d;
+            slot_of[loads[i].tenant] = s;
+            device_load[d] += loads[i].intensity;
+            slot_load[d][s] += loads[i].intensity;
+        }
+        Placement {
+            device_of,
+            slot_of,
+            devices: self.devices,
+        }
+    }
+
+    /// The re-placement hook. `tail_ns[d]` is device `d`'s observed tail
+    /// latency (e.g. p99 from its `MetricsProbe` summary). When the worst
+    /// device's tail exceeds `threshold ×` the fleet median — and it has
+    /// a tenant to give up — the device's highest-intensity tenant moves
+    /// to the least-loaded *other* device, and the changed placement is
+    /// returned together with `(moved_tenant, from_device, to_device)`.
+    /// Returns `None` when the fleet is within the drift bound.
+    pub fn replace_hottest(
+        &self,
+        placement: &Placement,
+        loads: &[TenantLoad],
+        tail_ns: &[u64],
+        threshold: f64,
+    ) -> Option<(Placement, usize, usize, usize)> {
+        assert_eq!(tail_ns.len(), self.devices);
+        if self.devices < 2 {
+            return None;
+        }
+        let mut sorted = tail_ns.to_vec();
+        sorted.sort_unstable();
+        // Lower median: for even device counts the upper median would be
+        // the worst device itself in a two-device fleet, making the
+        // drift test vacuous.
+        let median = sorted[(sorted.len() - 1) / 2];
+        let worst = (0..self.devices).max_by_key(|&d| (tail_ns[d], usize::MAX - d))?;
+        if (tail_ns[worst] as f64) <= threshold * median as f64 || median == 0 {
+            return None;
+        }
+        // Hottest tenant on the worst device (ties: lowest id); a device
+        // with a single tenant keeps it — moving would just relocate the
+        // hotspot.
+        let tenants = placement.device_tenants(worst);
+        if tenants.len() < 2 {
+            return None;
+        }
+        let moved = *tenants
+            .iter()
+            .max_by(|&&a, &&b| {
+                loads[a]
+                    .intensity
+                    .partial_cmp(&loads[b].intensity)
+                    .expect("intensities are finite")
+                    .then(b.cmp(&a))
+            })
+            .expect("device has tenants");
+        // Least predicted load among the other devices (ties: lowest id).
+        let mut device_load = vec![0.0f64; self.devices];
+        for l in loads {
+            device_load[placement.device_of[l.tenant]] += l.intensity;
+        }
+        device_load[worst] = f64::INFINITY;
+        let target = min_index(&device_load);
+        let mut next = placement.clone();
+        next.device_of[moved] = target;
+        // Slot on the target with the least predicted load.
+        let mut slot_load = vec![0.0f64; self.slots_per_device];
+        for l in loads {
+            if l.tenant != moved && next.device_of[l.tenant] == target {
+                slot_load[next.slot_of[l.tenant]] += l.intensity;
+            }
+        }
+        next.slot_of[moved] = min_index(&slot_load);
+        next.compact_device(worst);
+        Some((next, moved, worst, target))
+    }
+}
+
+/// Index of the smallest value; ties resolve to the lowest index.
+fn min_index(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::Op;
+
+    fn load(tenant: usize, intensity: f64) -> TenantLoad {
+        TenantLoad {
+            tenant,
+            intensity,
+            read_dominated: true,
+        }
+    }
+
+    #[test]
+    fn observe_counts_the_window_only() {
+        let stream = vec![
+            IoRequest::new(0, 0, Op::Write, 0, 1, 10),
+            IoRequest::new(1, 0, Op::Write, 1, 1, 20),
+            IoRequest::new(2, 0, Op::Read, 2, 1, 999),
+        ];
+        let l = TenantLoad::observe(7, &stream, 100);
+        assert_eq!(l.tenant, 7);
+        assert_eq!(l.intensity, 2.0);
+        assert!(!l.read_dominated, "window is write-dominated");
+    }
+
+    #[test]
+    fn place_balances_equal_loads_round_robin() {
+        let loads: Vec<TenantLoad> = (0..8).map(|t| load(t, 1.0)).collect();
+        let p = FleetPlacer::new(4).place(&loads);
+        for d in 0..4 {
+            assert_eq!(p.device_tenants(d).len(), 2, "device {d}");
+        }
+        // Dense slots: two tenants on a device occupy slots 0 and 1.
+        for d in 0..4 {
+            let slots = p.device_slots(d);
+            assert_eq!(slots.len(), 2);
+            assert!(slots.iter().all(|s| s.len() == 1));
+        }
+    }
+
+    #[test]
+    fn place_puts_heavy_tenants_on_distinct_devices() {
+        // 2 devices, two heavy + two light tenants: LPT must pair each
+        // heavy tenant with a light one.
+        let loads = vec![load(0, 10.0), load(1, 10.0), load(2, 1.0), load(3, 1.0)];
+        let p = FleetPlacer::new(2).place(&loads);
+        assert_ne!(p.device_of[0], p.device_of[1], "heavies split");
+        assert_ne!(p.device_of[2], p.device_of[3], "lights split");
+    }
+
+    #[test]
+    fn place_is_deterministic_and_slot_dense() {
+        let loads: Vec<TenantLoad> = (0..37)
+            .map(|t| load(t, ((t * 7919) % 13) as f64 + 0.5))
+            .collect();
+        let placer = FleetPlacer::new(5);
+        let a = placer.place(&loads);
+        assert_eq!(a, placer.place(&loads));
+        for d in 0..5 {
+            let slots = a.device_slots(d);
+            assert!(slots.len() <= DEVICE_SLOTS);
+            assert!(slots.iter().all(|s| !s.is_empty()), "dense slot prefix");
+        }
+        // Every tenant placed exactly once.
+        let total: usize = (0..5).map(|d| a.device_tenants(d).len()).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn replace_hottest_fires_only_past_threshold() {
+        let loads = vec![load(0, 5.0), load(1, 3.0), load(2, 4.0), load(3, 4.0)];
+        let placer = FleetPlacer::new(2);
+        let p = placer.place(&loads);
+        // Balanced tails: no move.
+        assert!(placer
+            .replace_hottest(&p, &loads, &[100, 110], 2.0)
+            .is_none());
+        // One device far past 2x the median: its hottest tenant moves.
+        let worst_dev = p.device_of[0];
+        let mut tails = vec![100u64; 2];
+        tails[worst_dev] = 1_000;
+        let (next, moved, from, to) = placer
+            .replace_hottest(&p, &loads, &tails, 2.0)
+            .expect("drift past threshold must trigger");
+        assert_eq!(from, worst_dev);
+        assert_ne!(to, worst_dev);
+        assert_eq!(moved, 0, "tenant 0 is the hottest on the worst device");
+        assert_eq!(next.device_of[0], to);
+        // Unchanged devices keep their assignments.
+        for t in 0..4 {
+            if t != moved {
+                assert_eq!(next.device_of[t], p.device_of[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn replace_hottest_keeps_single_tenant_devices() {
+        let loads = vec![load(0, 5.0), load(1, 1.0)];
+        let placer = FleetPlacer::new(2);
+        let p = placer.place(&loads);
+        let mut tails = vec![10u64; 2];
+        tails[p.device_of[0]] = 10_000;
+        assert!(
+            placer.replace_hottest(&p, &loads, &tails, 2.0).is_none(),
+            "a lone tenant stays put"
+        );
+    }
+
+    #[test]
+    fn removal_recompacts_source_slots() {
+        // Force >4 tenants on 1 device so two share a slot, then move one.
+        let loads: Vec<TenantLoad> = (0..6).map(|t| load(t, (6 - t) as f64)).collect();
+        let placer = FleetPlacer {
+            devices: 2,
+            slots_per_device: 2,
+        };
+        let p = placer.place(&loads);
+        let worst = p.device_of[0];
+        let mut tails = vec![1u64; 2];
+        tails[worst] = 100;
+        let (next, _, from, _) = placer
+            .replace_hottest(&p, &loads, &tails, 2.0)
+            .expect("triggered");
+        let slots = next.device_slots(from);
+        assert!(slots.iter().all(|s| !s.is_empty()), "dense after removal");
+    }
+}

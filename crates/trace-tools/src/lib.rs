@@ -22,7 +22,7 @@
 pub mod json;
 
 use flash_sim::metrics::{MetricsProbe, MetricsSummary};
-use flash_sim::probe::{decode_events, encode_events, replay, ProbeCodecError, ProbeEvent};
+use flash_sim::probe::{decode_events, replay, ProbeCodecError, ProbeEvent};
 use flash_sim::{EventRecorder, SimBuilder, SsdConfig, TenantLayout};
 use json::{flatten_numbers, Json};
 use std::fmt::Write as _;
@@ -276,7 +276,7 @@ pub fn sample_capture() -> Vec<u8> {
         .build()
         .expect("sample config is valid");
     sim.run(&trace).expect("sample trace runs");
-    encode_events(rec.events(), rec.dropped())
+    rec.encode()
 }
 
 /// Which direction is "better" for a compared metric.

@@ -1,0 +1,95 @@
+//! End-to-end `ssdtrace` CLI contract tests, pinned at the process
+//! boundary: exit codes and stderr messages, not library behavior.
+//!
+//! The contract under test (documented in the binary's header):
+//! 0 = success, 1 = regressions found by `diff`, 2 = usage / I/O /
+//! decode errors. In particular a missing or unreadable baseline for
+//! `diff` must exit 2 with a message naming the offending path — never
+//! exit 0 ("no regressions") or panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ssdtrace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ssdtrace"))
+        .args(args)
+        .output()
+        .expect("spawn ssdtrace")
+}
+
+/// A scratch path unique to this test process; created fresh per name.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssdtrace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn diff_with_missing_old_report_exits_2_and_names_the_path() {
+    let new = scratch("new.json");
+    std::fs::write(&new, "{}").unwrap();
+    let out = ssdtrace(&["diff", "/no/such/baseline.json", new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("ssdtrace:"), "unprefixed error: {err}");
+    assert!(
+        err.contains("/no/such/baseline.json"),
+        "error must name the missing path: {err}"
+    );
+}
+
+#[test]
+fn diff_with_missing_new_report_exits_2_and_names_the_path() {
+    let old = scratch("old.json");
+    std::fs::write(&old, "{}").unwrap();
+    let out = ssdtrace(&["diff", old.to_str().unwrap(), "/no/such/current.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("/no/such/current.json"));
+}
+
+#[test]
+fn diff_of_identical_reports_exits_0() {
+    // Build a real report through the CLI itself: sample -> summarize --json.
+    let cap = scratch("sample.ssdp");
+    let gen = ssdtrace(&["sample", cap.to_str().unwrap()]);
+    assert_eq!(gen.status.code(), Some(0));
+    let summarized = ssdtrace(&["summarize", cap.to_str().unwrap(), "--json"]);
+    assert_eq!(summarized.status.code(), Some(0));
+    let report = scratch("report.json");
+    std::fs::write(&report, &summarized.stdout).unwrap();
+    let out = ssdtrace(&["diff", report.to_str().unwrap(), report.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+}
+
+#[test]
+fn summarize_of_truncated_capture_exits_2_with_decode_error() {
+    let cap = scratch("whole.ssdp");
+    assert_eq!(
+        ssdtrace(&["sample", cap.to_str().unwrap()]).status.code(),
+        Some(0)
+    );
+    let bytes = std::fs::read(&cap).unwrap();
+    let cut = scratch("truncated.ssdp");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+    let out = ssdtrace(&["summarize", cut.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("ssdtrace:"));
+}
+
+#[test]
+fn timeline_of_missing_capture_exits_2() {
+    let out = ssdtrace(&["timeline", "/no/such/capture.ssdp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("/no/such/capture.ssdp"));
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = ssdtrace(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("USAGE"));
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Tracked perf gate: runs the sim_throughput bench (events/sec on the
-# sim_micro workload) and records the result in BENCH_sim.json at the
-# repo root. The JSON keeps the first-ever run as the baseline, so every
-# later run reports its speedup against the committed starting point.
+# sim_micro workload) and the fleet_scale bench (the fleet_1k scenario:
+# 1000 tenants / 64 device shards, events/sec plus core-scaling
+# efficiency), recording both in BENCH_sim.json at the repo root. The
+# JSON keeps the first-ever run as the baseline, so every later run
+# reports its speedup against the committed starting point.
 #
 # The JSON also records a "phases" section: per-command time in each
 # simulated phase (unit wait, array op, bus wait, transfer, GC exec) as
@@ -43,6 +45,12 @@ fi
 
 SSDKEEPER_BENCH_JSON="$json_path" \
     cargo bench --offline -q -p bench --bench sim_throughput
+
+# The fleet bench splices its fleet_1k entry into the report the
+# sim_throughput bench just rewrote; the pre-run snapshot carries the
+# committed fleet_1k baseline across that rewrite.
+SSDKEEPER_BENCH_JSON="$json_path" SSDKEEPER_BENCH_PREV="$prev" \
+    cargo bench --offline -q -p bench --bench fleet_scale
 
 if [ -n "$prev" ]; then
     echo "==> ssdtrace diff vs previous $json_path"

@@ -46,6 +46,23 @@ if ! cmp -s "$golden_dir/summary.json" tests/golden/ssdtrace_summary.json; then
     exit 1
 fi
 
+# Fleet determinism gate: the merged fleet digest must be a pure
+# function of the scenario, never of the worker count. Runs the small
+# smoke scenario pinned to 1 worker and again at 4 and compares the
+# printed digest lines byte-for-byte (the same property the fleet crate's
+# digest_is_identical_across_1_4_8_workers test pins in-process; this
+# checks it end-to-end through the release binary).
+echo "==> fleet determinism check (1 vs 4 workers)"
+fleet_w1=$(./target/release/fleet --smoke --seed 42 --workers 1 | grep '^fleet digest:')
+fleet_w4=$(./target/release/fleet --smoke --seed 42 --workers 4 | grep '^fleet digest:')
+if [ "$fleet_w1" != "$fleet_w4" ] || [ -z "$fleet_w1" ]; then
+    echo "verify: FAIL - fleet digest depends on worker count" >&2
+    echo "  1 worker:  $fleet_w1" >&2
+    echo "  4 workers: $fleet_w4" >&2
+    exit 1
+fi
+echo "    $fleet_w1 (identical at both worker counts)"
+
 # The deprecated keeper/simulator entry points stay only as migration
 # shims; new call sites must use Keeper::run(RunSpec) / SimBuilder. The
 # allowlist covers the shims' own definitions + tests and the probe-layer

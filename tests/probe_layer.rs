@@ -10,7 +10,7 @@
 //!    fig2-style workload (this file is allowlisted for the deprecated
 //!    calls in `scripts/verify.sh`).
 
-use ssdkeeper_repro::flash_sim::probe::{decode_events, encode_events};
+use ssdkeeper_repro::flash_sim::probe::decode_events;
 use ssdkeeper_repro::flash_sim::{
     EventRecorder, IoRequest, Op, PageAllocPolicy, Probe, ProbeEvent, Reallocation, SimBuilder,
     SimReport, Simulator, SsdConfig, TenantLayout,
@@ -102,7 +102,7 @@ fn golden_digest_is_byte_identical_with_and_without_a_recorder() {
 fn recorder_events_round_trip_through_the_codec() {
     let mut rec = EventRecorder::with_capacity(1 << 20);
     let _ = gc_wear_realloc_report(Some(&mut rec));
-    let bytes = encode_events(rec.events(), rec.dropped());
+    let bytes = rec.encode();
     let (events, dropped) = decode_events(&bytes).unwrap();
     assert_eq!(events.len(), rec.len());
     assert_eq!(dropped, rec.dropped());
