@@ -63,6 +63,20 @@ impl Dense {
         out
     }
 
+    /// Forward pass into a reused output buffer via the branchless
+    /// batched kernel [`Matrix::matmul_into`]. Allocation-free once
+    /// `out` is warm, and bit-identical to [`Dense::forward`] row for
+    /// row (finite weights — the training and quantization paths never
+    /// produce anything else).
+    pub fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        debug_assert_eq!(x.cols(), self.fan_in());
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        for i in 0..out.rows() {
+            self.act.apply_slice(out.row_mut(i));
+        }
+    }
+
     /// Backward pass.
     ///
     /// * `x` — the input that produced `a` (`[batch, fan_in]`);

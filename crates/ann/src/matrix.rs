@@ -118,6 +118,33 @@ impl Matrix {
         out
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the backing buffer.
+    ///
+    /// Existing contents are unspecified afterwards (the kernels that use
+    /// this overwrite every element). Grows the buffer only when the new
+    /// shape needs more capacity than any earlier shape did, so a warm
+    /// scratch matrix resizes without allocating.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Packs `self` transposed into `bt` (column-major: `bt[j*k + kk] =
+    /// self[kk, j]`), resizing `bt` as needed. This is the weight-side
+    /// pack [`Matrix::matmul_prepacked_into`] consumes; packing once and
+    /// reusing it across a batch is what makes batched inference cheap.
+    pub fn pack_transposed_into(&self, bt: &mut Vec<f32>) {
+        let (k, n) = (self.rows, self.cols);
+        bt.resize(n * k, 0.0);
+        for kk in 0..k {
+            let b_row = self.row(kk);
+            for (j, &b) in b_row.iter().enumerate() {
+                bt[j * k + kk] = b;
+            }
+        }
+    }
+
     /// `self × other` — shapes `[m,k] × [k,n] → [m,n]`.
     ///
     /// Packs `other` transposed once so the reduction walks both operands
@@ -131,15 +158,29 @@ impl Matrix {
     /// Panics on a shape mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut bt = vec![0.0f32; n * k];
-        for kk in 0..k {
-            let b_row = other.row(kk);
-            for (j, &b) in b_row.iter().enumerate() {
-                bt[j * k + kk] = b;
-            }
-        }
-        let mut out = Matrix::zeros(m, n);
+        let mut bt = Vec::new();
+        other.pack_transposed_into(&mut bt);
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_prepacked_into(other.cols, &bt, &mut out);
+        out
+    }
+
+    /// `self × B` where `B` is supplied pre-packed (transposed, as
+    /// produced by [`Matrix::pack_transposed_into`]), writing into `out`
+    /// without allocating once `out`'s buffer is warm.
+    ///
+    /// Runs exactly the tiled kernel [`Matrix::matmul`] runs — same
+    /// 4-column tiles, same ascending-`k` accumulation order, same
+    /// `a == 0.0` skip — so each output row is bit-identical to the
+    /// allocating path, for any batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bt.len() != n * self.cols()`.
+    pub fn matmul_prepacked_into(&self, n: usize, bt: &[f32], out: &mut Matrix) {
+        let (m, k) = (self.rows, self.cols);
+        assert_eq!(bt.len(), n * k, "packed operand shape mismatch");
+        out.resize(m, n);
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -177,7 +218,41 @@ impl Matrix {
                 *o = s;
             }
         }
-        out
+    }
+
+    /// `self × b` written into `out`, reusing `out`'s buffer — the
+    /// batched-inference kernel.
+    ///
+    /// Walks `b` row-by-row and accumulates `a[i,k] · b[k,·]` into the
+    /// output row, so every output element receives exactly the additions
+    /// the naive i-k-j loop performs, in the same ascending-`k` order —
+    /// bit-identical to [`Matrix::matmul`] whenever `b` is finite (the
+    /// only divergence is the `a == 0.0` skip, which for finite weights
+    /// only ever skips adding a signed zero, and a `+0.0`-initialized
+    /// IEEE-754 accumulator is unchanged bit-for-bit by adding `±0.0`).
+    /// Unlike the tiled kernel this loop has no per-element branch and
+    /// its inner loop runs across the contiguous output row, so the
+    /// compiler vectorizes it; combined with the reused output buffer
+    /// this is what makes one batched call beat a loop of row calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        out.resize(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            out_row.fill(0.0);
+            for (kk, &a) in a_row.iter().enumerate() {
+                let b_row = &b.data[kk * n..(kk + 1) * n];
+                for (o, &w) in out_row.iter_mut().zip(b_row) {
+                    *o += a * w;
+                }
+            }
+        }
     }
 
     /// `selfᵀ × other` — shapes `[k,m]ᵀ × [k,n] → [m,n]` without
@@ -407,6 +482,67 @@ mod tests {
             let slow = naive(&a, &b);
             for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "matmul drifted from reference");
+            }
+        }
+    }
+
+    /// The prepacked path with warm, reused scratch buffers must be
+    /// bit-identical to the allocating `matmul` across varying shapes —
+    /// the batched-inference contract.
+    #[test]
+    fn prepacked_matmul_reuses_buffers_bit_identically() {
+        let mut rng = SimRng::seed_from_u64(305);
+        let mut bt = Vec::new();
+        let mut out = Matrix::zeros(0, 0);
+        for _ in 0..32 {
+            let m = rng.gen_range(1usize..9);
+            let k = rng.gen_range(1usize..9);
+            let n = rng.gen_range(1usize..11);
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            b.pack_transposed_into(&mut bt);
+            a.matmul_prepacked_into(n, &bt, &mut out);
+            let reference = a.matmul(&b);
+            assert_eq!(
+                (out.rows(), out.cols()),
+                (reference.rows(), reference.cols())
+            );
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "prepacked kernel drifted");
+            }
+        }
+    }
+
+    /// The branchless batched kernel with a warm, reused output buffer
+    /// must be bit-identical to `matmul` for finite operands — including
+    /// ReLU-style zeros on both sides, where the tiled kernel's
+    /// `a == 0.0` skip and the branchless `+= a * w` must land on the
+    /// same bits.
+    #[test]
+    fn matmul_into_is_bit_identical_to_matmul() {
+        let mut rng = SimRng::seed_from_u64(306);
+        let mut out = Matrix::zeros(0, 0);
+        for _ in 0..64 {
+            let m = rng.gen_range(1usize..9);
+            let k = rng.gen_range(1usize..9);
+            let n = rng.gen_range(1usize..11);
+            let sparse = |rng: &mut SimRng| {
+                if rng.gen_range(0u32..3) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-3.0f32..3.0)
+                }
+            };
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|_| sparse(&mut rng)).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|_| sparse(&mut rng)).collect());
+            a.matmul_into(&b, &mut out);
+            let reference = a.matmul(&b);
+            assert_eq!(
+                (out.rows(), out.cols()),
+                (reference.rows(), reference.cols())
+            );
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "batched kernel drifted");
             }
         }
     }

@@ -1,0 +1,446 @@
+//! Fixed-point (i16) inference mode.
+//!
+//! [`QuantNetwork`] mirrors a trained f32 [`Network`] with 16-bit
+//! integer weights and per-layer scales, hand-rolled on `std` integer
+//! arithmetic (no external numerics — the workspace's zero-dependency
+//! policy). It exists for the decision hot path: the keeper evaluates
+//! the same 9→64→42 model thousands of times per fleet window, and the
+//! integer kernel both halves the weight footprint and keeps the whole
+//! model in cache.
+//!
+//! # Quantization scheme
+//!
+//! * **Weights** — per-layer symmetric: `sw = max|w| / 32767`,
+//!   `qw = round(w / sw)` clamped to `±32767`. An all-zero layer uses
+//!   `sw = 1` so the scheme never divides by zero.
+//! * **Activations** — per-*row* dynamic: each input row is scaled by
+//!   `sx = max|x| / 32767` at inference time, so batching rows together
+//!   cannot change any row's result — batched and row-at-a-time
+//!   quantized inference are bit-identical by construction.
+//! * **Accumulation** — `i16 × i16` products are widened to `i32` and
+//!   summed in `i64` (a fan-in of 64 at full scale is ≈ 2³⁶, past `i32`
+//!   but nowhere near `i64` limits), then dequantized once per output:
+//!   `y = (acc as f32) · (sx · sw) + bias`, followed by the layer's f32
+//!   activation. Biases stay in f32 — they are `fan_out` adds, not the
+//!   `fan_in × fan_out` multiply bulk.
+//!
+//! # When arg-max equivalence is guaranteed
+//!
+//! Rounding inputs and weights to 15-bit grids perturbs each logit by a
+//! bounded amount. If for some input the f32 logit row has error bound
+//! `d` (see DESIGN.md for the derivation; empirically ~1e-3 of the
+//! logit scale for the paper topology), any class whose f32 logit leads
+//! the runner-up by more than `2d` keeps its arg-max under
+//! quantization. Ties and sub-`2d` gaps may legitimately flip; the
+//! equivalence battery in `crates/ann/tests` checks both the exact
+//! corpus (realistic feature vectors, where gaps are wide) and the
+//! gap-conditioned property over random networks.
+
+use crate::activation::Activation;
+use crate::loss::softmax_rows;
+use crate::matrix::Matrix;
+use crate::network::Network;
+
+/// Largest quantized magnitude: `i16::MAX`, symmetric around zero.
+pub const QUANT_MAX: i32 = i16::MAX as i32;
+
+/// One dense layer with i16 weights and a per-layer scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantDense {
+    fan_in: usize,
+    fan_out: usize,
+    /// Weights stored row-major (`qw[kk * fan_out + j]`), matching the
+    /// k-outer/j-inner kernel: each input element broadcasts against a
+    /// contiguous weight row, accumulating into independent output
+    /// lanes. Integer accumulation is exact in any order, so the layout
+    /// is purely a throughput choice.
+    qw: Vec<i16>,
+    w_scale: f32,
+    b: Vec<f32>,
+    act: Activation,
+}
+
+impl QuantDense {
+    /// Quantizes an f32 layer: per-layer symmetric weight scale,
+    /// round-to-nearest, biases kept in f32.
+    pub fn from_dense(layer: &crate::layer::Dense) -> Self {
+        let (fan_in, fan_out) = (layer.fan_in(), layer.fan_out());
+        let max_abs = layer
+            .w
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        let w_scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / QUANT_MAX as f32
+        };
+        let qw = layer
+            .w
+            .as_slice()
+            .iter()
+            .map(|&w| quantize(w, w_scale))
+            .collect();
+        Self {
+            fan_in,
+            fan_out,
+            qw,
+            w_scale,
+            b: layer.b.clone(),
+            act: layer.act,
+        }
+    }
+
+    /// Reassembles a layer from its serialized parts (`qw` row-major,
+    /// as the `annq-v1` text format stores it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qw.len() != fan_in * fan_out` or `b.len() != fan_out`.
+    pub fn from_parts(
+        fan_in: usize,
+        fan_out: usize,
+        w_scale: f32,
+        qw: &[i16],
+        b: Vec<f32>,
+        act: Activation,
+    ) -> Self {
+        assert_eq!(qw.len(), fan_in * fan_out, "quant weight length mismatch");
+        assert_eq!(b.len(), fan_out, "bias length mismatch");
+        Self {
+            fan_in,
+            fan_out,
+            qw: qw.to_vec(),
+            w_scale,
+            b,
+            act,
+        }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// Per-layer weight scale (`max|w| / 32767`).
+    pub fn w_scale(&self) -> f32 {
+        self.w_scale
+    }
+
+    /// Quantized weight at `(kk, j)` in the original row-major layout.
+    pub fn qw(&self, kk: usize, j: usize) -> i16 {
+        self.qw[kk * self.fan_out + j]
+    }
+
+    /// Bias vector (kept in f32).
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Activation applied to the dequantized affine output.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Bytes of parameter storage (i16 weights + f32 scale and biases).
+    pub fn param_bytes(&self) -> usize {
+        self.qw.len() * std::mem::size_of::<i16>()
+            + std::mem::size_of::<f32>()
+            + self.b.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Forward pass for a batch, writing into `out` through the scratch
+    /// row-quantization and accumulator buffers. Each row is handled
+    /// independently (its own dynamic scale), so batching never changes
+    /// a row's output. The reduction is k-outer/j-inner: every quantized
+    /// input element broadcasts against its contiguous weight row into
+    /// `fan_out` independent `i64` lanes — exact integer sums, so the
+    /// loop order is free and the lanes carry no dependency chain.
+    fn forward_into(&self, x: &Matrix, qx: &mut Vec<i16>, acc: &mut Vec<i64>, out: &mut Matrix) {
+        debug_assert_eq!(x.cols(), self.fan_in);
+        let (rows, k, n) = (x.rows(), self.fan_in, self.fan_out);
+        qx.resize(k, 0);
+        acc.resize(n, 0);
+        out.resize(rows, n);
+        for i in 0..rows {
+            let x_row = x.row(i);
+            let max_abs = x_row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let out_row = out.row_mut(i);
+            if max_abs == 0.0 {
+                // A zero row contributes nothing: output is the bias.
+                for (o, &b) in out_row.iter_mut().zip(self.b.iter()) {
+                    *o = self.act.apply(b);
+                }
+                continue;
+            }
+            let sx = max_abs / QUANT_MAX as f32;
+            for (q, &v) in qx.iter_mut().zip(x_row.iter()) {
+                *q = quantize(v, sx);
+            }
+            acc.fill(0);
+            for (kk, &q) in qx.iter().enumerate() {
+                let q = q as i32;
+                let w_row = &self.qw[kk * n..(kk + 1) * n];
+                for (a, &w) in acc.iter_mut().zip(w_row) {
+                    *a += (q * w as i32) as i64;
+                }
+            }
+            let dequant = sx * self.w_scale;
+            for ((o, &a), &b) in out_row.iter_mut().zip(acc.iter()).zip(self.b.iter()) {
+                *o = self.act.apply(a as f32 * dequant + b);
+            }
+        }
+    }
+}
+
+#[inline]
+fn quantize(v: f32, scale: f32) -> i16 {
+    (v / scale)
+        .round()
+        .clamp(-(QUANT_MAX as f32), QUANT_MAX as f32) as i16
+}
+
+/// Reusable buffers for [`QuantNetwork`] inference: the row
+/// quantization buffer, the integer accumulator row, and two ping-pong
+/// activation matrices. Zero allocations once warm.
+#[derive(Debug)]
+pub struct QuantScratch {
+    qx: Vec<i16>,
+    acc: Vec<i64>,
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl Default for QuantScratch {
+    fn default() -> Self {
+        Self {
+            qx: Vec::new(),
+            acc: Vec::new(),
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl QuantScratch {
+    /// An empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A quantized mirror of a trained [`Network`], exposing the same
+/// prediction API shapes (batch logits, batch arg-max, single-vector
+/// arg-max).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantNetwork {
+    layers: Vec<QuantDense>,
+}
+
+impl QuantNetwork {
+    /// Quantizes every layer of a trained network.
+    pub fn from_network(net: &Network) -> Self {
+        Self {
+            layers: net.layers().iter().map(QuantDense::from_dense).collect(),
+        }
+    }
+
+    /// Constructs directly from layers (used by [`crate::io`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layers have mismatched widths or no layers
+    /// are given.
+    pub fn from_layers(layers: Vec<QuantDense>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].fan_out(), pair[1].fan_in(), "layer width mismatch");
+        }
+        Self { layers }
+    }
+
+    /// The layers, input to output.
+    pub fn layers(&self) -> &[QuantDense] {
+        &self.layers
+    }
+
+    /// Input feature count.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Output class count.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty").fan_out()
+    }
+
+    /// Total parameter bytes — roughly half the f32 network's.
+    pub fn param_bytes(&self) -> usize {
+        self.layers.iter().map(QuantDense::param_bytes).sum()
+    }
+
+    /// Batched forward pass returning the dequantized logits
+    /// `[batch, classes]` as a borrow of the scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the input width.
+    pub fn forward_batch_into<'s>(&self, x: &Matrix, scratch: &'s mut QuantScratch) -> &'s Matrix {
+        assert_eq!(x.cols(), self.input_width(), "feature width mismatch");
+        self.layers[0].forward_into(x, &mut scratch.qx, &mut scratch.acc, &mut scratch.ping);
+        for (idx, layer) in self.layers.iter().enumerate().skip(1) {
+            if idx % 2 == 1 {
+                layer.forward_into(
+                    &scratch.ping,
+                    &mut scratch.qx,
+                    &mut scratch.acc,
+                    &mut scratch.pong,
+                );
+            } else {
+                layer.forward_into(
+                    &scratch.pong,
+                    &mut scratch.qx,
+                    &mut scratch.acc,
+                    &mut scratch.ping,
+                );
+            }
+        }
+        if (self.layers.len() - 1) % 2 == 1 {
+            &scratch.pong
+        } else {
+            &scratch.ping
+        }
+    }
+
+    /// Batched arg-max prediction into a reused output vector. Ties
+    /// resolve to the highest index, exactly like [`Network::predict`].
+    pub fn predict_batch_into(&self, x: &Matrix, scratch: &mut QuantScratch, out: &mut Vec<usize>) {
+        out.clear();
+        let logits = self.forward_batch_into(x, scratch);
+        out.reserve(logits.rows());
+        for i in 0..logits.rows() {
+            let class = logits
+                .row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(j, _)| j)
+                .expect("non-empty row");
+            out.push(class);
+        }
+    }
+
+    /// Batched arg-max prediction, allocating the result vector.
+    pub fn predict_batch(&self, x: &Matrix, scratch: &mut QuantScratch) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.predict_batch_into(x, scratch, &mut out);
+        out
+    }
+
+    /// Predicts the class of a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the input width.
+    pub fn predict_one(&self, features: &[f32]) -> usize {
+        assert_eq!(features.len(), self.input_width(), "feature width mismatch");
+        let x = Matrix::from_rows(&[features]);
+        let mut scratch = QuantScratch::new();
+        self.predict_batch(&x, &mut scratch)[0]
+    }
+
+    /// Class probabilities (softmax of the dequantized logits).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut scratch = QuantScratch::new();
+        let mut logits = self.forward_batch_into(x, &mut scratch).clone();
+        softmax_rows(&mut logits);
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrng::Rng;
+
+    fn paper_net(seed: u64) -> Network {
+        Network::paper_topology(Activation::Logistic, seed)
+    }
+
+    #[test]
+    fn quantization_round_trips_through_parts() {
+        let net = paper_net(11);
+        let q = QuantNetwork::from_network(&net);
+        for layer in q.layers() {
+            let (fi, fo) = (layer.fan_in(), layer.fan_out());
+            let mut row_major = vec![0i16; fi * fo];
+            for kk in 0..fi {
+                for j in 0..fo {
+                    row_major[kk * fo + j] = layer.qw(kk, j);
+                }
+            }
+            let rebuilt = QuantDense::from_parts(
+                fi,
+                fo,
+                layer.w_scale(),
+                &row_major,
+                layer.bias().to_vec(),
+                layer.activation(),
+            );
+            assert_eq!(&rebuilt, layer);
+        }
+    }
+
+    #[test]
+    fn zero_input_row_yields_activated_bias() {
+        let net = paper_net(3);
+        let q = QuantNetwork::from_network(&net);
+        let x = Matrix::zeros(1, 9);
+        let mut scratch = QuantScratch::new();
+        let logits = q.forward_batch_into(&x, &mut scratch);
+        // The f32 network on a zero row also reduces to propagated
+        // biases; the two paths must agree closely.
+        let reference = net.forward(&x);
+        for (a, b) in logits.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-2, "zero-row logits diverged: {a} vs {b}");
+        }
+    }
+
+    /// Per-row dynamic scales make batched and row-at-a-time quantized
+    /// inference bit-identical — the property that lets call sites batch
+    /// freely.
+    #[test]
+    fn batched_quant_is_bit_identical_to_rowwise() {
+        let q = QuantNetwork::from_network(&paper_net(7));
+        let mut rng = simrng::SimRng::seed_from_u64(19);
+        let x = Matrix::from_fn(33, 9, |_, _| rng.gen_range(-1.0f32..1.0));
+        let mut scratch = QuantScratch::new();
+        let batched = q.forward_batch_into(&x, &mut scratch).clone();
+        for i in 0..x.rows() {
+            let one = Matrix::from_rows(&[x.row(i)]);
+            let row = q.forward_batch_into(&one, &mut scratch).clone();
+            for (a, b) in batched.row(i).iter().zip(row.row(0).iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} drifted under batching");
+            }
+        }
+    }
+
+    #[test]
+    fn param_bytes_shrink_versus_f32() {
+        let net = paper_net(1);
+        let q = QuantNetwork::from_network(&net);
+        assert!(q.param_bytes() < net.param_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn predict_one_rejects_bad_width() {
+        let q = QuantNetwork::from_network(&paper_net(1));
+        let _ = q.predict_one(&[0.0; 4]);
+    }
+}

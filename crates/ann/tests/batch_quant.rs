@@ -1,0 +1,222 @@
+//! The batching + quantization contract (DESIGN.md §"Batched and
+//! quantized inference"):
+//!
+//! 1. Batched forward through [`ForwardScratch`] is **bit-identical**
+//!    to the row-at-a-time path, for random shapes and seeds.
+//! 2. Quantized inference is **arg-max identical** to f32 on the
+//!    equivalence corpus (realistic keeper feature vectors), and on
+//!    random networks whenever the f32 top-2 logit gap exceeds twice
+//!    the observed logit error.
+//! 3. The `annq-v1` text format round-trips a quantized model exactly,
+//!    pinned by a golden fixture.
+
+use ann::activation::Activation;
+use ann::io::{format_quant_network, parse_quant_network};
+use ann::layer::Dense;
+use ann::matrix::Matrix;
+use ann::network::{ForwardScratch, Network};
+use ann::quant::{QuantNetwork, QuantScratch};
+use simrng::{Rng, SimRng};
+
+fn random_network(rng: &mut SimRng) -> Network {
+    let input = rng.gen_range(2usize..12);
+    let hidden = rng.gen_range(3usize..33);
+    let classes = rng.gen_range(2usize..17);
+    let act = match rng.gen_range(0u32..3) {
+        0 => Activation::ReLU,
+        1 => Activation::Logistic,
+        _ => Activation::Tanh,
+    };
+    Network::builder(input, rng.gen())
+        .hidden(hidden, act)
+        .output(classes)
+        .build()
+}
+
+fn random_batch(rng: &mut SimRng, rows: usize, cols: usize) -> Matrix {
+    // ReLU-style zeros included: the kernel's sparsity skip must not
+    // depend on batch shape.
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_range(0u32..4) == 0 {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+/// Property: for random networks, shapes, and seeds, the batched
+/// scratch-buffer forward equals running each row alone — bit for bit,
+/// with the scratch reused (warm) across every case.
+#[test]
+fn batched_forward_is_bit_identical_to_row_by_row() {
+    let mut rng = SimRng::seed_from_u64(0xBA7C);
+    let mut scratch = ForwardScratch::new();
+    for _ in 0..40 {
+        let net = random_network(&mut rng);
+        let rows = rng.gen_range(1usize..70);
+        let x = random_batch(&mut rng, rows, net.input_width());
+        let batched = net.forward_batch_into(&x, &mut scratch).clone();
+        assert_eq!((batched.rows(), batched.cols()), (rows, net.output_width()));
+        for i in 0..rows {
+            let one = Matrix::from_rows(&[x.row(i)]);
+            let alone = net.forward(&one);
+            for (a, b) in batched.row(i).iter().zip(alone.row(0).iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} drifted under batching");
+            }
+        }
+        let preds = net.predict_batch(&x, &mut scratch);
+        for i in 0..rows {
+            assert_eq!(preds[i], net.predict_one(x.row(i)), "arg-max drifted");
+        }
+    }
+}
+
+/// The keeper's actual input domain: intensity level on the /19 grid,
+/// 0/1 read-write characters, non-negative shares summing to 1.
+fn feature_corpus(rng: &mut SimRng, count: usize) -> Matrix {
+    let mut m = Matrix::zeros(count, 9);
+    for i in 0..count {
+        let row = m.row_mut(i);
+        row[0] = rng.gen_range(0u32..20) as f32 / 19.0;
+        for c in 1..5 {
+            row[c] = rng.gen_range(0u32..2) as f32;
+        }
+        let mut total = 0.0f32;
+        let mut raw = [0.0f32; 4];
+        for r in raw.iter_mut() {
+            *r = rng.gen_range(0.05f32..1.0);
+            total += *r;
+        }
+        for (c, r) in raw.iter().enumerate() {
+            row[5 + c] = r / total;
+        }
+    }
+    m
+}
+
+/// Acceptance gate: quantized inference is arg-max identical to f32 on
+/// the equivalence corpus — paper-topology networks over realistic
+/// feature vectors, both hidden activations, several seeds.
+#[test]
+fn quantized_argmax_matches_f32_on_equivalence_corpus() {
+    let mut rng = SimRng::seed_from_u64(0x0C0FFEE);
+    let corpus = feature_corpus(&mut rng, 256);
+    let mut f32_scratch = ForwardScratch::new();
+    let mut q_scratch = QuantScratch::new();
+    for act in [Activation::Logistic, Activation::ReLU] {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let net = Network::paper_topology(act, seed);
+            let q = QuantNetwork::from_network(&net);
+            let expected = net.predict_batch(&corpus, &mut f32_scratch);
+            let got = q.predict_batch(&corpus, &mut q_scratch);
+            assert_eq!(
+                got, expected,
+                "quantized arg-max diverged (act {act:?}, seed {seed})"
+            );
+        }
+    }
+}
+
+/// Property over random networks: the quantized logits stay within a
+/// small absolute error of the f32 logits, and the arg-max agrees
+/// whenever the f32 top-2 gap exceeds twice that row's observed error
+/// (the guarantee DESIGN.md documents — ties and hairline gaps may
+/// legitimately flip).
+#[test]
+fn quantized_argmax_matches_when_the_logit_gap_is_wide() {
+    let mut rng = SimRng::seed_from_u64(0x51ACE);
+    let mut q_scratch = QuantScratch::new();
+    let mut f32_scratch = ForwardScratch::new();
+    for _ in 0..40 {
+        let net = random_network(&mut rng);
+        let q = QuantNetwork::from_network(&net);
+        let rows = rng.gen_range(1usize..33);
+        let x = random_batch(&mut rng, rows, net.input_width());
+        let f_logits = net.forward_batch_into(&x, &mut f32_scratch).clone();
+        let q_logits = q.forward_batch_into(&x, &mut q_scratch).clone();
+        for i in 0..rows {
+            let f_row = f_logits.row(i);
+            let q_row = q_logits.row(i);
+            let err = f_row
+                .iter()
+                .zip(q_row.iter())
+                .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
+            let scale = f_row.iter().fold(1.0f32, |m, &v| m.max(v.abs()));
+            assert!(
+                err <= 0.02 * scale,
+                "quantization error {err} too large for logit scale {scale}"
+            );
+            let argmax = |row: &[f32]| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            };
+            let best = argmax(f_row);
+            let mut sorted: Vec<f32> = f_row.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let gap = if sorted.len() > 1 {
+                sorted[0] - sorted[1]
+            } else {
+                f32::INFINITY
+            };
+            if gap > 2.0 * err {
+                assert_eq!(
+                    argmax(q_row),
+                    best,
+                    "arg-max flipped despite gap {gap} > 2·err {err}"
+                );
+            }
+        }
+    }
+}
+
+/// The golden `annq-v1` fixture: a hand-pinned quantized model whose
+/// serialized text must never drift, and whose parse must reproduce the
+/// exact in-memory model. Regenerate deliberately with
+/// `SSDKEEPER_REGEN_GOLDEN=1 cargo test -p ann --test batch_quant`.
+#[test]
+fn golden_quant_fixture_round_trips() {
+    let w1 = Matrix::from_vec(
+        3,
+        4,
+        vec![
+            0.5, -1.0, 0.25, 2.0, //
+            -0.125, 0.75, -2.0, 1.5, //
+            1.0, -0.5, 0.0625, -0.25,
+        ],
+    );
+    let w2 = Matrix::from_vec(4, 2, vec![1.0, -1.0, 0.5, 0.25, -0.75, 0.125, 2.0, -0.5]);
+    let net = Network::from_layers(vec![
+        Dense {
+            w: w1,
+            b: vec![0.1, -0.2, 0.3, 0.0],
+            act: Activation::Logistic,
+        },
+        Dense {
+            w: w2,
+            b: vec![0.05, -0.05],
+            act: Activation::Identity,
+        },
+    ]);
+    let q = QuantNetwork::from_network(&net);
+    let text = format_quant_network(&q);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quant_model.txt");
+    if std::env::var("SSDKEEPER_REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, &text).expect("write golden fixture");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden fixture present");
+    assert_eq!(text, golden, "annq-v1 serialization drifted from golden");
+    let parsed = parse_quant_network(&golden).expect("golden fixture parses");
+    assert_eq!(parsed, q, "golden fixture no longer reproduces the model");
+    // And the parsed model predicts identically to the f32 original on
+    // a fixed probe batch.
+    let probe = Matrix::from_rows(&[&[0.2, -0.4, 0.9], &[1.0, 0.0, -1.0], &[0.0, 0.0, 0.0]]);
+    let mut scratch = QuantScratch::new();
+    assert_eq!(
+        parsed.predict_batch(&probe, &mut scratch),
+        net.predict(&probe)
+    );
+}

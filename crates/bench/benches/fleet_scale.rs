@@ -32,6 +32,7 @@
 //! `SSDKEEPER_BENCH_JSON`, `SSDKEEPER_BENCH_PREV`.
 
 use bench::harness::black_box;
+use bench::report;
 use fleet::{run_fleet, FleetConfig, FleetOutcome};
 use parallel::PoolConfig;
 use std::time::{Duration, Instant};
@@ -129,71 +130,15 @@ fn main() {
     }
 }
 
-/// Reads `"key": <number>` out of `section`'s object, scanning forward
-/// from the first occurrence of the section name in `text`.
-fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
-    let sec = text.find(&format!("\"{section}\""))?;
-    let rest = &text[sec..];
-    let k = rest.find(&format!("\"{key}\""))?;
-    let after = &rest[k..];
-    let colon = after.find(':')?;
-    let tail = after[colon + 1..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
-
 /// The stored `fleet_1k` baseline from a report text, if present.
 fn stored_baseline(text: &str, workload: &str) -> Option<(u64, u64, f64)> {
-    let start = text.find(&format!("\"{workload}\""))?;
-    let scoped = &text[start..];
     match (
-        json_number(scoped, "baseline", "events"),
-        json_number(scoped, "baseline", "median_ns"),
-        json_number(scoped, "baseline", "events_per_sec"),
+        report::baseline_number(text, workload, "events"),
+        report::baseline_number(text, workload, "median_ns"),
+        report::baseline_number(text, workload, "events_per_sec"),
     ) {
         (Some(e), Some(m), Some(eps)) => Some((e as u64, m as u64, eps)),
         _ => None,
-    }
-}
-
-/// Removes `"name": { ... }` (and the comma joining it to its neighbor)
-/// from a workloads object, by brace-depth scan — no JSON library.
-fn strip_entry(text: &str, name: &str) -> String {
-    let Some(key) = text.find(&format!("\"{name}\"")) else {
-        return text.to_string();
-    };
-    let Some(open) = text[key..].find('{').map(|i| key + i) else {
-        return text.to_string();
-    };
-    let mut depth = 0usize;
-    let mut end = text.len();
-    for (i, c) in text[open..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = open + i + 1;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    let before = text[..key].trim_end();
-    if before.ends_with(',') {
-        // Not the first entry: also drop the comma that joined it.
-        format!("{}{}", &text[..before.len() - 1], &text[end..])
-    } else {
-        // First entry: drop the comma in front of its successor instead.
-        let after_ws = text[end..].len() - text[end..].trim_start().len();
-        let mut cut = end;
-        if text[end..].trim_start().starts_with(',') {
-            cut = end + after_ws + 1;
-        }
-        format!("{}{}", &text[..key], &text[cut..])
     }
 }
 
@@ -240,16 +185,8 @@ fn write_entry(
         cfg.requests_per_tenant,
         speedup / workers as f64,
     );
-    let cleaned = strip_entry(&existing, "fleet_1k");
-    let body = match cleaned.rfind("\n  }\n}") {
-        // Splice as the last entry of the existing workloads object.
-        Some(tail) => format!("{},\n{entry}{}", &cleaned[..tail], &cleaned[tail..]),
-        // No (usable) report yet: write a fresh skeleton.
-        None => format!(
-            "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": {{\n{entry}\n  }}\n}}\n"
-        ),
-    };
-    std::fs::write(path, body).expect("write BENCH json");
+    std::fs::write(path, report::splice_entry(&existing, "fleet_1k", &entry))
+        .expect("write BENCH json");
     println!("fleet_scale: fleet_1k speedup vs baseline: {speedup_vs_base:.3}x");
     println!("fleet_scale: wrote {path}");
 }

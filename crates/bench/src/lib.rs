@@ -7,6 +7,7 @@
 //! binaries use in place of an external benchmark framework.
 
 pub mod harness;
+pub mod report;
 
 use flash_sim::{IoRequest, SsdConfig};
 use ssdkeeper::label::EvalConfig;

@@ -1,0 +1,150 @@
+//! The hand-rolled `BENCH_sim.json` splice protocol.
+//!
+//! Several bench targets share one JSON report: a top-level object with a
+//! `workloads` map holding one entry per tracked scenario. No JSON
+//! library — readers string-scan for `"key": <number>`, and writers
+//! replace their own entry by brace-depth removal plus a tail splice, so
+//! each bench updates its row without disturbing its neighbours.
+//!
+//! The `baseline` sub-object of an entry is sticky: the first run ever
+//! recorded. Because some benches rewrite the whole file, callers look
+//! for their prior baseline in the `SSDKEEPER_BENCH_PREV` snapshot
+//! (taken by `scripts/bench.sh` before any bench runs) before falling
+//! back to the live report and finally to the fresh numbers.
+
+/// Reads `"key": <number>` out of `section`'s object, scanning forward
+/// from the first occurrence of the section name in `text`.
+pub fn json_number(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\""))?;
+    let rest = &text[sec..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let after = &rest[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Reads `key` from the `baseline` object of `workload`'s entry.
+pub fn baseline_number(text: &str, workload: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{workload}\""))?;
+    json_number(&text[start..], "baseline", key)
+}
+
+/// Removes `"name": { ... }` (and the comma joining it to its neighbor)
+/// from a workloads object, by brace-depth scan.
+pub fn strip_entry(text: &str, name: &str) -> String {
+    let Some(key) = text.find(&format!("\"{name}\"")) else {
+        return text.to_string();
+    };
+    let Some(open) = text[key..].find('{').map(|i| key + i) else {
+        return text.to_string();
+    };
+    let mut depth = 0usize;
+    let mut end = text.len();
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let before = text[..key].trim_end();
+    if before.ends_with(',') {
+        // Not the first entry: also drop the comma that joined it.
+        format!("{}{}", &text[..before.len() - 1], &text[end..])
+    } else {
+        // First entry: drop the comma in front of its successor instead.
+        let after_ws = text[end..].len() - text[end..].trim_start().len();
+        let mut cut = end;
+        if text[end..].trim_start().starts_with(',') {
+            cut = end + after_ws + 1;
+        }
+        format!("{}{}", &text[..key], &text[cut..])
+    }
+}
+
+/// Replaces (or appends) `name`'s entry in a report text. `entry` must
+/// be the fully formatted `    "name": { ... }` block — four-space
+/// indent, no trailing comma or newline. When `existing` holds no
+/// recognizable workloads object, a fresh report skeleton is written
+/// around the entry instead.
+pub fn splice_entry(existing: &str, name: &str, entry: &str) -> String {
+    let cleaned = strip_entry(existing, name);
+    match cleaned.rfind("\n  }\n}") {
+        Some(tail) => {
+            // An empty workloads object (this was the only entry) takes
+            // the entry without a joining comma.
+            let joiner = if cleaned[..tail].trim_end().ends_with('{') {
+                ""
+            } else {
+                ","
+            };
+            format!("{}{joiner}\n{entry}{}", &cleaned[..tail], &cleaned[tail..])
+        }
+        None => format!(
+            "{{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": {{\n{entry}\n  }}\n}}\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = "{\n  \"bench\": \"sim_throughput\",\n  \"workloads\": {\n    \
+        \"alpha\": {\n      \"baseline\": { \"events\": 100, \"events_per_sec\": 5.5 },\n      \
+        \"current\": { \"events\": 120 }\n    },\n    \
+        \"beta\": {\n      \"median_ns\": 42\n    }\n  }\n}\n";
+
+    #[test]
+    fn json_number_reads_scoped_values() {
+        assert_eq!(json_number(REPORT, "baseline", "events"), Some(100.0));
+        assert_eq!(json_number(REPORT, "current", "events"), Some(120.0));
+        assert_eq!(json_number(REPORT, "baseline", "events_per_sec"), Some(5.5));
+        assert_eq!(json_number(REPORT, "baseline", "missing"), None);
+        assert_eq!(baseline_number(REPORT, "alpha", "events"), Some(100.0));
+        assert_eq!(baseline_number(REPORT, "beta", "events"), None);
+    }
+
+    #[test]
+    fn strip_removes_only_the_named_entry() {
+        let without_alpha = strip_entry(REPORT, "alpha");
+        assert!(!without_alpha.contains("alpha"));
+        assert!(without_alpha.contains("\"beta\""));
+        let without_beta = strip_entry(REPORT, "beta");
+        assert!(without_beta.contains("\"alpha\""));
+        assert!(!without_beta.contains("beta"));
+        assert_eq!(strip_entry(REPORT, "gamma"), REPORT);
+    }
+
+    #[test]
+    fn splice_replaces_appends_and_bootstraps() {
+        let entry = "    \"beta\": {\n      \"median_ns\": 7\n    }";
+        let replaced = splice_entry(REPORT, "beta", entry);
+        assert!(replaced.contains("\"median_ns\": 7"));
+        assert!(!replaced.contains("\"median_ns\": 42"));
+        assert!(replaced.contains("\"alpha\""));
+
+        let appended = splice_entry(REPORT, "gamma", "    \"gamma\": {\n      \"x\": 1\n    }");
+        assert!(appended.contains("\"alpha\"") && appended.contains("\"beta\""));
+        assert!(appended.contains("\"gamma\""));
+
+        let fresh = splice_entry("", "solo", "    \"solo\": {\n      \"x\": 1\n    }");
+        assert!(fresh.starts_with("{\n  \"bench\""));
+        assert!(fresh.contains("\"solo\""));
+        // Re-splicing into a single-entry report must not leave a
+        // dangling comma after the opening brace.
+        let resplice = splice_entry(&fresh, "solo", "    \"solo\": {\n      \"x\": 2\n    }");
+        assert!(resplice.contains("\"x\": 2"));
+        assert!(!resplice.contains("{,"));
+    }
+}

@@ -38,6 +38,26 @@ use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
 
 pub use summary::{FleetSummary, ShardSummary};
 
+/// How the fleet materializes tenant request streams.
+///
+/// Streams are a pure function of `(fleet_seed, tenant)` via the
+/// [`seed`] rule, so regenerating one on demand yields the same bytes as
+/// keeping it resident — the merged digest is identical in both modes
+/// (pinned by `lazy_and_eager_streams_produce_identical_digests`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamMode {
+    /// Generate each stream on demand: once to observe its placement
+    /// window, then again inside the shard that hosts it. Peak memory is
+    /// one shard's traffic instead of the whole fleet's (a 1000-tenant
+    /// run no longer holds 1000 streams at once).
+    #[default]
+    Lazy,
+    /// Materialize every stream up front. Trades the fleet's full
+    /// traffic in memory for generating each stream once; kept as the
+    /// byte-identity reference for the lazy path.
+    Eager,
+}
+
 /// Everything that determines a fleet run. Two equal configs produce
 /// byte-identical [`FleetOutcome`]s, regardless of `pool`.
 #[derive(Debug, Clone)]
@@ -62,6 +82,8 @@ pub struct FleetConfig {
     pub observe_window_ns: u64,
     /// Worker threads for the shard fan-out. Results never depend on it.
     pub pool: PoolConfig,
+    /// Stream residency policy. Results never depend on it either.
+    pub stream_mode: StreamMode,
     /// Re-placement trigger: a device whose tail (p99) latency exceeds
     /// `tail_threshold ×` the fleet median gets its hottest tenant moved.
     pub tail_threshold: f64,
@@ -87,6 +109,7 @@ impl FleetConfig {
             max_total_iops: 120_000.0,
             observe_window_ns: 50_000_000,
             pool: PoolConfig::auto(),
+            stream_mode: StreamMode::Lazy,
             tail_threshold: 2.0,
             max_replacements: 1,
         }
@@ -200,13 +223,26 @@ fn tenant_spec(cfg: &FleetConfig, tenant: usize) -> TenantSpec {
     )
 }
 
+/// Generates one tenant's request stream from the fleet seed alone —
+/// the pure function both [`StreamMode`]s evaluate.
+fn tenant_stream(cfg: &FleetConfig, tenant: usize) -> Vec<IoRequest> {
+    let spec = tenant_spec(cfg, tenant);
+    generate_tenant_stream(
+        &spec,
+        0,
+        cfg.requests_per_tenant,
+        seed::derive(cfg.fleet_seed, seed::DOMAIN_STREAM, tenant as u64),
+    )
+}
+
 /// Builds one device's keeper inputs from the placement: per-slot merged
 /// streams (LPN-offset so co-located tenants do not alias pages) and the
-/// per-slot LPN spaces.
+/// per-slot LPN spaces. `fetch` yields a tenant's stream — materialized
+/// or regenerated, per [`StreamMode`].
 fn shard_inputs(
     cfg: &FleetConfig,
     slot_tenants: &[Vec<usize>],
-    streams: &[Vec<IoRequest>],
+    fetch: &(dyn Fn(usize) -> Vec<IoRequest> + Sync),
 ) -> (Vec<IoRequest>, Vec<u64>) {
     let mut slot_streams: Vec<Vec<IoRequest>> = Vec::with_capacity(slot_tenants.len());
     let mut lpn_spaces = Vec::with_capacity(slot_tenants.len());
@@ -214,9 +250,9 @@ fn shard_inputs(
         let mut merged: Vec<IoRequest> = Vec::new();
         for (pos, &t) in tenants.iter().enumerate() {
             let base = pos as u64 * cfg.lpn_space_per_tenant;
-            merged.extend(streams[t].iter().map(|r| IoRequest {
+            merged.extend(fetch(t).into_iter().map(|r| IoRequest {
                 lpn: r.lpn + base,
-                ..*r
+                ..r
             }));
         }
         // Chronological within the slot; the sort is stable over a
@@ -236,7 +272,7 @@ fn run_shard(
     keeper: &Keeper,
     device: usize,
     placement: &Placement,
-    streams: &[Vec<IoRequest>],
+    fetch: &(dyn Fn(usize) -> Vec<IoRequest> + Sync),
 ) -> Result<ShardSummary, FleetError> {
     let slot_tenants = placement.device_slots(device);
     if slot_tenants.is_empty() {
@@ -249,7 +285,7 @@ fn run_shard(
             makespan_ns: 0,
         });
     }
-    let (trace, lpn_spaces) = shard_inputs(cfg, &slot_tenants, streams);
+    let (trace, lpn_spaces) = shard_inputs(cfg, &slot_tenants, fetch);
     let outcome = keeper.run(RunSpec::adapt_once(&trace, &lpn_spaces).with_metrics())?;
     Ok(ShardSummary {
         device,
@@ -280,24 +316,29 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetOutcome, FleetError> {
     cfg.validate()?;
 
     // Tenant population: specs and streams derive from (fleet_seed,
-    // tenant id) only — placement and worker count cannot perturb them.
+    // tenant id) only — placement and worker count cannot perturb them,
+    // and regenerating a stream yields the same bytes as caching it.
+    // Tier-1 loads come from each stream's first observation window.
     let tenant_ids: Vec<usize> = (0..cfg.tenants).collect();
-    let streams: Vec<Vec<IoRequest>> = par_map(&cfg.pool, &tenant_ids, |&t| {
-        let spec = tenant_spec(cfg, t);
-        generate_tenant_stream(
-            &spec,
-            0,
-            cfg.requests_per_tenant,
-            seed::derive(cfg.fleet_seed, seed::DOMAIN_STREAM, t as u64),
-        )
-    });
-
-    // Tier 1: predicted intensity from each stream's first observation
-    // window, then bin-packing onto device slots.
-    let loads: Vec<TenantLoad> = tenant_ids
-        .iter()
-        .map(|&t| TenantLoad::observe(t, &streams[t], cfg.observe_window_ns))
-        .collect();
+    let (resident, loads): (Option<Vec<Vec<IoRequest>>>, Vec<TenantLoad>) = match cfg.stream_mode {
+        StreamMode::Eager => {
+            let streams: Vec<Vec<IoRequest>> =
+                par_map(&cfg.pool, &tenant_ids, |&t| tenant_stream(cfg, t));
+            let loads = TenantLoad::observe_all(&streams, cfg.observe_window_ns);
+            (Some(streams), loads)
+        }
+        StreamMode::Lazy => {
+            // Each stream lives only as long as its observation.
+            let loads = par_map(&cfg.pool, &tenant_ids, |&t| {
+                TenantLoad::observe(t, &tenant_stream(cfg, t), cfg.observe_window_ns)
+            });
+            (None, loads)
+        }
+    };
+    let fetch = |t: usize| match &resident {
+        Some(streams) => streams[t].clone(),
+        None => tenant_stream(cfg, t),
+    };
     let placer = FleetPlacer::new(cfg.devices);
     let mut placement = placer.place(&loads);
 
@@ -320,7 +361,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetOutcome, FleetError> {
     let run_all =
         |placement: &Placement, devices: &[usize]| -> Result<Vec<ShardSummary>, FleetError> {
             par_map(&cfg.pool, devices, |&d| {
-                run_shard(cfg, &keeper, d, placement, &streams)
+                run_shard(cfg, &keeper, d, placement, &fetch)
             })
             .into_iter()
             .collect()

@@ -22,14 +22,11 @@ pub const DOMAIN_MODEL: u64 = 3;
 
 /// Derives a child seed from `(fleet_seed, domain, index)` with a
 /// splitmix64 finalizer. Pure and stateless: the same triple always
-/// yields the same seed, on every platform.
+/// yields the same seed, on every platform. Delegates to
+/// [`simrng::derive_seed`], the workspace-wide rule also used by the
+/// label farm's per-sample seeding.
 pub fn derive(fleet_seed: u64, domain: u64, index: u64) -> u64 {
-    let mut z = fleet_seed
-        ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    simrng::derive_seed(fleet_seed, domain, index)
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Fleet-level integration: determinism across worker counts, placement
 //! sanity, the re-placement hook, and error surfacing.
 
-use fleet::{run_fleet, FleetConfig, FleetError};
+use fleet::{run_fleet, FleetConfig, FleetError, StreamMode};
 use parallel::PoolConfig;
 use ssdkeeper::placement::DEVICE_SLOTS;
 
@@ -66,6 +66,32 @@ fn digest_is_identical_across_1_4_8_workers() {
     assert_eq!(w1.summary.digest(), w8.summary.digest());
     assert_eq!(w1, w4);
     assert_eq!(w1, w8);
+}
+
+/// Satellite gate: the lazy stream path (regenerate per shard, never
+/// hold the whole fleet's traffic) must be byte-identical to the eager
+/// reference — digest and full outcome — including across worker counts
+/// and with the re-placement hook firing.
+#[test]
+fn lazy_and_eager_streams_produce_identical_digests() {
+    let cfg_at = |mode: StreamMode, workers: usize| FleetConfig {
+        stream_mode: mode,
+        tail_threshold: 1.01,
+        max_replacements: 2,
+        pool: PoolConfig::with_workers(workers),
+        ..FleetConfig::smoke(42)
+    };
+    assert_eq!(
+        FleetConfig::smoke(42).stream_mode,
+        StreamMode::Lazy,
+        "lazy is the default"
+    );
+    let lazy = run_fleet(&cfg_at(StreamMode::Lazy, 4)).expect("lazy fleet runs");
+    let eager = run_fleet(&cfg_at(StreamMode::Eager, 4)).expect("eager fleet runs");
+    assert_eq!(lazy.summary.digest(), eager.summary.digest());
+    assert_eq!(lazy, eager);
+    let lazy_w1 = run_fleet(&cfg_at(StreamMode::Lazy, 1)).expect("lazy fleet runs");
+    assert_eq!(lazy.summary.digest(), lazy_w1.summary.digest());
 }
 
 /// Forcing an aggressive drift threshold exercises the re-placement

@@ -61,6 +61,22 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives a child seed from `(seed, domain, index)` with a splitmix64
+/// finalizer — the domain-derivation rule shared by the fleet layer
+/// (`fleet::seed`) and the parallel label farm. Pure and stateless: the
+/// same triple always yields the same seed on every platform, and
+/// distinct domains cannot collide even for equal indices, so a new
+/// consumer of randomness never perturbs existing ones.
+#[inline]
+pub fn derive_seed(seed: u64, domain: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SimRng {
     /// Builds a generator from a 64-bit seed by running SplitMix64 four
     /// times, exactly as the xoshiro reference code prescribes.

@@ -8,7 +8,7 @@
 //! it was written. When hybrid page allocation is enabled, each tenant's
 //! allocation mode is also switched to match its observed characteristic.
 
-use crate::allocator::ChannelAllocator;
+use crate::allocator::{ChannelAllocator, DecisionScratch};
 use crate::features::{FeatureVector, TENANTS};
 use crate::hybrid;
 use crate::strategy::Strategy;
@@ -187,17 +187,6 @@ impl Default for KeeperConfig {
     }
 }
 
-/// Result of an adaptive run.
-#[derive(Debug, Clone)]
-pub struct KeeperOutcome {
-    /// Simulator report for the full trace.
-    pub report: SimReport,
-    /// The strategy SSDKeeper selected at `t == T`.
-    pub strategy: Strategy,
-    /// The features it selected on.
-    pub features: FeatureVector,
-}
-
 /// One strategy decision of a periodic run.
 #[derive(Debug, Clone)]
 pub struct Decision {
@@ -207,15 +196,6 @@ pub struct Decision {
     pub features: FeatureVector,
     /// The strategy chosen.
     pub strategy: Strategy,
-}
-
-/// Result of [`Keeper::run_adaptive_periodic`].
-#[derive(Debug, Clone)]
-pub struct PeriodicOutcome {
-    /// Simulator report for the full trace.
-    pub report: SimReport,
-    /// Every strategy *change* (unchanged predictions are not recorded).
-    pub decisions: Vec<Decision>,
 }
 
 /// SSDKeeper's online engine: features collector + channel allocator +
@@ -237,11 +217,10 @@ impl Keeper {
         &self.config
     }
 
-    /// Runs one session per `spec` — the single entry point that subsumes
-    /// the deprecated `run_adaptive` / `run_adaptive_periodic` /
-    /// `run_static` trio. The mode selects the allocation policy; the
-    /// optional probe observes every engine hook plus the keeper's own
-    /// decision events (feature vector + predicted class probabilities).
+    /// Runs one session per `spec` — the single entry point for every
+    /// allocation policy. The mode selects the policy; the optional
+    /// probe observes every engine hook plus the keeper's own decision
+    /// events (feature vector + predicted class probabilities).
     pub fn run(&self, spec: RunSpec<'_>) -> Result<RunOutcome, KeeperError> {
         if spec.lpn_spaces.is_empty() || spec.lpn_spaces.len() > TENANTS {
             return Err(KeeperError::TenantCount {
@@ -430,18 +409,35 @@ impl Keeper {
 
         // Decide every window first (decision events fire here, before any
         // engine event), then hand the probe to the simulator for the run.
-        let mut reallocations: Vec<Reallocation> = Vec::new();
-        let mut decisions: Vec<Decision> = Vec::new();
-        let mut current: Option<Strategy> = None;
+        //
+        // Two passes: collect every non-empty window's observations, then
+        // decide them all in ONE batched allocator call — the network runs
+        // each layer's kernel once for the whole run instead of once per
+        // window. Each batch row equals the per-window `predict`, so the
+        // decisions (and the merged outcome) are identical to the
+        // sequential loop this replaced.
+        let mut windows: Vec<(u64, ObservedFeatures)> = Vec::new();
+        let mut features: Vec<FeatureVector> = Vec::new();
         let mut boundary = t_ns;
         while boundary <= horizon.saturating_add(t_ns) {
             let obs = ObservedFeatures::collect_range(trace, tenants, boundary - t_ns, boundary);
-            if obs.total() == 0 {
-                boundary += t_ns;
-                continue;
+            if obs.total() != 0 {
+                features.push(FeatureVector::from_observed(&obs, &scale));
+                windows.push((boundary, obs));
             }
-            let features = FeatureVector::from_observed(&obs, &scale);
-            let strategy = self.allocator.predict(&features);
+            boundary += t_ns;
+        }
+        let mut scratch = DecisionScratch::new();
+        let mut predicted: Vec<Strategy> = Vec::new();
+        self.allocator
+            .predict_batch_into(&features, &mut scratch, &mut predicted);
+
+        let mut reallocations: Vec<Reallocation> = Vec::new();
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut current: Option<Strategy> = None;
+        for ((&(boundary, ref obs), features), &strategy) in
+            windows.iter().zip(features.iter()).zip(predicted.iter())
+        {
             if current != Some(strategy) {
                 let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
                 let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
@@ -454,15 +450,14 @@ impl Keeper {
                         .map(|(t, channels)| (t, channels, Some(policies[t])))
                         .collect(),
                 });
-                probe.on_keeper_decision(&self.decision_event(boundary, &features, strategy));
+                probe.on_keeper_decision(&self.decision_event(boundary, features, strategy));
                 decisions.push(Decision {
                     at_ns: boundary,
-                    features,
+                    features: features.clone(),
                     strategy,
                 });
                 current = Some(strategy);
             }
-            boundary += t_ns;
         }
 
         let mut sim = SimBuilder::new(self.config.ssd.clone(), layout)
@@ -479,82 +474,6 @@ impl Keeper {
             decisions,
             metrics: None,
         })
-    }
-
-    /// Runs `trace` adaptively per Algorithm 2.
-    ///
-    /// `lpn_spaces` bound each tenant's logical footprint (up to four
-    /// tenants).
-    #[deprecated(note = "use Keeper::run with RunSpec::adapt_once")]
-    pub fn run_adaptive(
-        &self,
-        trace: &[IoRequest],
-        lpn_spaces: &[u64],
-    ) -> Result<KeeperOutcome, SimError> {
-        assert!(
-            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
-            "1..=4 tenants supported"
-        );
-        let out = self
-            .run(RunSpec::adapt_once(trace, lpn_spaces))
-            .map_err(|e| match e {
-                KeeperError::Sim(e) => e,
-                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
-            })?;
-        Ok(KeeperOutcome {
-            report: out.report,
-            strategy: out.strategy,
-            features: out.features.expect("adapt-once always computes features"),
-        })
-    }
-
-    /// Runs `trace` with periodic re-observation every
-    /// `config.observe_window_ns`.
-    #[deprecated(note = "use Keeper::run with RunSpec::periodic")]
-    pub fn run_adaptive_periodic(
-        &self,
-        trace: &[IoRequest],
-        lpn_spaces: &[u64],
-    ) -> Result<PeriodicOutcome, SimError> {
-        assert!(
-            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
-            "1..=4 tenants supported"
-        );
-        let out = self
-            .run(RunSpec::periodic(
-                trace,
-                lpn_spaces,
-                self.config.observe_window_ns,
-            ))
-            .map_err(|e| match e {
-                KeeperError::Sim(e) => e,
-                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
-            })?;
-        Ok(PeriodicOutcome {
-            report: out.report,
-            decisions: out.decisions,
-        })
-    }
-
-    /// Runs `trace` under a fixed strategy for the whole run.
-    #[deprecated(note = "use Keeper::run with RunSpec::fixed")]
-    pub fn run_static(
-        &self,
-        trace: &[IoRequest],
-        strategy: Strategy,
-        lpn_spaces: &[u64],
-    ) -> Result<SimReport, SimError> {
-        assert!(
-            !lpn_spaces.is_empty() && lpn_spaces.len() <= TENANTS,
-            "1..=4 tenants supported"
-        );
-        let out = self
-            .run(RunSpec::fixed(trace, lpn_spaces, strategy))
-            .map_err(|e| match e {
-                KeeperError::Sim(e) => e,
-                KeeperError::TenantCount { .. } => unreachable!("tenant count validated above"),
-            })?;
-        Ok(out.report)
     }
 }
 
@@ -669,14 +588,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=4 tenants")]
-    fn deprecated_wrapper_preserves_panic_on_bad_tenants() {
-        let keeper = untrained_keeper();
-        #[allow(deprecated)]
-        let _ = keeper.run_adaptive(&[], &[64; 5]);
-    }
-
-    #[test]
     fn periodic_run_completes_and_records_decisions() {
         let keeper = untrained_keeper();
         let trace = four_tenant_trace(600);
@@ -713,42 +624,6 @@ mod tests {
         assert_eq!(out.report.total.count, 0);
         assert_eq!(out.strategy, Strategy::Shared);
         assert!(out.features.is_none());
-    }
-
-    #[test]
-    fn deprecated_wrappers_delegate_to_run() {
-        #![allow(deprecated)]
-        let keeper = untrained_keeper();
-        let trace = four_tenant_trace(300);
-        let spaces = [1u64 << 10; 4];
-
-        let old = keeper.run_adaptive(&trace, &spaces).unwrap();
-        let new = keeper.run(RunSpec::adapt_once(&trace, &spaces)).unwrap();
-        assert_eq!(old.report, new.report);
-        assert_eq!(old.strategy, new.strategy);
-        assert_eq!(
-            format!("{:?}", old.features),
-            format!("{:?}", new.features.unwrap())
-        );
-
-        let old = keeper
-            .run_static(&trace, Strategy::Isolated, &spaces)
-            .unwrap();
-        let new = keeper
-            .run(RunSpec::fixed(&trace, &spaces, Strategy::Isolated))
-            .unwrap();
-        assert_eq!(old, new.report);
-
-        let old = keeper.run_adaptive_periodic(&trace, &spaces).unwrap();
-        let new = keeper
-            .run(RunSpec::periodic(
-                &trace,
-                &spaces,
-                keeper.config().observe_window_ns,
-            ))
-            .unwrap();
-        assert_eq!(old.report, new.report);
-        assert_eq!(old.decisions.len(), new.decisions.len());
     }
 
     #[test]

@@ -12,6 +12,13 @@ use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLay
 use parallel::PoolConfig;
 use workloads::ObservedFeatures;
 
+/// Domain tag for per-sample RNG seeding in the parallel label farm
+/// ([`crate::learner::Learner::generate_dataset_parallel`]). Shares the
+/// [`simrng::derive_seed`] triple rule with `fleet::seed`, whose domains
+/// 1–3 are stream/profile/model — domain separation means the farm can
+/// never collide with fleet-derived seeds.
+pub const DOMAIN_LABEL_SAMPLE: u64 = 4;
+
 /// Configuration shared by every labelling run.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {
@@ -29,6 +36,18 @@ impl Default for EvalConfig {
             ssd: SsdConfig::scaled_for_sweeps(),
             hybrid: false,
             pool: PoolConfig::auto(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// This config with the strategy sweep pinned to one worker — for
+    /// use inside an outer fan-out (the label farm parallelizes across
+    /// samples; nesting a second pool per sample would oversubscribe).
+    pub fn sequential(&self) -> EvalConfig {
+        EvalConfig {
+            pool: PoolConfig::with_workers(1),
+            ..self.clone()
         }
     }
 }

@@ -8,13 +8,14 @@
 //! plus one overall intensity level. The sample is labelled by running all
 //! 42 strategies (see [`crate::label`]) and keeping the argmin.
 
-use crate::allocator::ChannelAllocator;
+use crate::allocator::{ChannelAllocator, DecisionScratch};
 use crate::features::{FeatureVector, FEATURE_DIM, TENANTS};
-use crate::label::{best_strategy_with_tolerance, evaluate_all, EvalConfig};
+use crate::label::{best_strategy_with_tolerance, evaluate_all, EvalConfig, DOMAIN_LABEL_SAMPLE};
 use crate::strategy::Strategy;
 use ann::prelude::*;
 use ann::train::TrainHistory;
 use flash_sim::IoRequest;
+use parallel::PoolConfig;
 use simrng::Rng;
 use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
 
@@ -295,21 +296,29 @@ pub fn effective_accuracy_subset(
     rel_tol: f64,
 ) -> Option<f64> {
     let classes = Strategy::all_for_tenants(4).len();
-    let mut scored = 0usize;
+    // One batched forward for the whole subset instead of a per-sample
+    // call; predictions are identical (the batch kernel is
+    // row-independent), this just amortizes the layer sweeps.
+    let scored_samples: Vec<&LabelledSample> = indices
+        .iter()
+        .map(|&i| &dataset.samples[i])
+        .filter(|s| s.metrics_us.len() == classes)
+        .collect();
+    if scored_samples.is_empty() {
+        return None;
+    }
+    let features: Vec<FeatureVector> = scored_samples.iter().map(|s| s.features.clone()).collect();
+    let mut scratch = DecisionScratch::new();
+    let mut predicted = Vec::new();
+    allocator.predict_batch_into(&features, &mut scratch, &mut predicted);
     let mut hits = 0usize;
-    for &i in indices {
-        let s = &dataset.samples[i];
-        if s.metrics_us.len() != classes {
-            continue;
-        }
-        scored += 1;
-        let predicted = allocator.predict(&s.features).index(4);
+    for (s, strategy) in scored_samples.iter().zip(predicted.iter()) {
         let best = s.metrics_us.iter().copied().fold(f64::INFINITY, f64::min);
-        if s.metrics_us[predicted] <= best * (1.0 + rel_tol) {
+        if s.metrics_us[strategy.index(4)] <= best * (1.0 + rel_tol) {
             hits += 1;
         }
     }
-    (scored > 0).then(|| hits as f64 / scored as f64)
+    Some(hits as f64 / scored_samples.len() as f64)
 }
 
 /// Deterministic 7:3 train/test split of `n` sample indices.
@@ -441,6 +450,41 @@ impl Learner {
         }
     }
 
+    /// The parallel label farm: generates and labels the dataset by
+    /// fanning samples across `pool`, one simulation sweep per worker
+    /// item.
+    ///
+    /// Each sample's RNG is seeded independently with
+    /// `simrng::derive_seed(seed, DOMAIN_LABEL_SAMPLE, i)` — the same
+    /// stateless splitmix64 rule the fleet uses for its shard streams —
+    /// so the result is deterministic and byte-identical for *any*
+    /// worker count and regardless of completion order
+    /// ([`parallel::par_map_with`] returns results in index order).
+    ///
+    /// Note this draws a *different* (equally valid) dataset than
+    /// [`Learner::generate_dataset`], which threads one sequential RNG
+    /// through all samples and therefore cannot fan out. The inner
+    /// 42-strategy sweep runs sequentially per sample
+    /// ([`EvalConfig::sequential`]); the outer fan-out already saturates
+    /// the pool.
+    pub fn generate_dataset_parallel(&self, seed: u64, pool: &PoolConfig) -> LabelledDataset {
+        let inner = Learner::new(DatasetSpec {
+            eval: self.spec.eval.sequential(),
+            ..self.spec.clone()
+        });
+        let indices: Vec<u64> = (0..self.spec.samples as u64).collect();
+        let samples = parallel::par_map_with(pool, &indices, |_, &i| {
+            let mut rng =
+                simrng::SimRng::seed_from_u64(simrng::derive_seed(seed, DOMAIN_LABEL_SAMPLE, i));
+            let (trace, _) = inner.sample_mixed_workload(&mut rng);
+            inner.label_workload(&trace)
+        });
+        LabelledDataset {
+            samples,
+            max_total_iops: self.spec.max_total_iops,
+        }
+    }
+
     /// Trains the paper's 9→64→42 network on the dataset with a 7:3
     /// train/test split and 200 iterations (Algorithm 1, lines 9–15).
     pub fn train(&self, dataset: &LabelledDataset, choice: OptimizerChoice) -> TrainedModel {
@@ -551,6 +595,67 @@ mod tests {
         }
         let hist = a.label_histogram();
         assert_eq!(hist.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn parallel_farm_is_worker_count_invariant_and_deterministic() {
+        let learner = Learner::new(tiny_spec());
+        let one = learner.generate_dataset_parallel(21, &PoolConfig::with_workers(1));
+        let four = learner.generate_dataset_parallel(21, &PoolConfig::with_workers(4));
+        assert_eq!(one.samples.len(), 4);
+        assert_eq!(one.samples.len(), four.samples.len());
+        for (x, y) in one.samples.iter().zip(&four.samples) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.features, y.features);
+            assert_eq!(x.metrics_us, y.metrics_us);
+        }
+        // Re-running with the same seed reproduces the dataset exactly;
+        // a different seed draws different workloads.
+        let again = learner.generate_dataset_parallel(21, &PoolConfig::with_workers(4));
+        for (x, y) in four.samples.iter().zip(&again.samples) {
+            assert_eq!(x.features, y.features);
+            assert_eq!(x.metrics_us, y.metrics_us);
+        }
+        let other = learner.generate_dataset_parallel(22, &PoolConfig::with_workers(2));
+        assert!(
+            four.samples
+                .iter()
+                .zip(&other.samples)
+                .any(|(x, y)| x.features != y.features),
+            "different seeds should draw different workloads"
+        );
+    }
+
+    #[test]
+    fn effective_accuracy_batches_without_changing_the_score() {
+        let learner = Learner::new(tiny_spec());
+        let dataset = learner.generate_dataset_parallel(13, &PoolConfig::with_workers(2));
+        let model = learner.train_with(&dataset, OptimizerChoice::AdamLogistic, 3, 5);
+        let allocator = model.allocator();
+        let acc = effective_accuracy(&allocator, &dataset, 0.02).expect("v2 samples carry metrics");
+        assert!((0.0..=1.0).contains(&acc));
+        // The batched score equals the per-sample reference computation.
+        let classes = Strategy::all_for_tenants(4).len();
+        let mut hits = 0usize;
+        let mut scored = 0usize;
+        for s in &dataset.samples {
+            if s.metrics_us.len() != classes {
+                continue;
+            }
+            scored += 1;
+            let predicted = allocator.predict(&s.features).index(4);
+            let best = s.metrics_us.iter().copied().fold(f64::INFINITY, f64::min);
+            if s.metrics_us[predicted] <= best * 1.02 {
+                hits += 1;
+            }
+        }
+        assert_eq!(acc, hits as f64 / scored as f64);
+        // Metric-less samples score as None.
+        let empty = LabelledDataset {
+            samples: Vec::new(),
+            max_total_iops: 1.0,
+        };
+        assert!(effective_accuracy(&allocator, &empty, 0.02).is_none());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod obs;
 pub mod placement;
 pub mod strategy;
 
-pub use allocator::ChannelAllocator;
+pub use allocator::{ChannelAllocator, DecisionScratch};
 pub use features::FeatureVector;
 pub use keeper::{Keeper, KeeperConfig, KeeperError, RunMode, RunOutcome, RunSpec};
 pub use placement::{FleetPlacer, Placement, TenantLoad};

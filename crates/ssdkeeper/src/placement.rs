@@ -58,6 +58,18 @@ impl TenantLoad {
             read_dominated: obs.rw_characteristic(0) == 1,
         }
     }
+
+    /// Observes a whole fleet in one call: `streams[t]` is tenant `t`'s
+    /// stream. Equivalent to mapping [`TenantLoad::observe`] over the
+    /// enumerated streams; the batch form exists so fleet call sites that
+    /// fetch streams lazily can observe each one while it is resident.
+    pub fn observe_all<S: AsRef<[IoRequest]>>(streams: &[S], window_ns: u64) -> Vec<Self> {
+        streams
+            .iter()
+            .enumerate()
+            .map(|(t, s)| Self::observe(t, s.as_ref(), window_ns))
+            .collect()
+    }
 }
 
 /// A fleet placement: every tenant mapped to a `(device, slot)` pair.
@@ -276,6 +288,22 @@ mod tests {
         assert_eq!(l.tenant, 7);
         assert_eq!(l.intensity, 2.0);
         assert!(!l.read_dominated, "window is write-dominated");
+    }
+
+    #[test]
+    fn observe_all_matches_per_stream_observe() {
+        let streams: Vec<Vec<IoRequest>> = (0..3)
+            .map(|t| {
+                (0..=t as u64)
+                    .map(|i| IoRequest::new(i * 10, 0, Op::Read, i, 1, 5))
+                    .collect()
+            })
+            .collect();
+        let all = TenantLoad::observe_all(&streams, 100);
+        assert_eq!(all.len(), 3);
+        for (t, l) in all.iter().enumerate() {
+            assert_eq!(*l, TenantLoad::observe(t, &streams[t], 100));
+        }
     }
 
     #[test]

@@ -349,10 +349,11 @@ impl Diff {
 
 /// Classifies a flattened metric path, `None` when it is not compared.
 /// Latency-like metrics (`*p50*_ns` … `*mean*_ns`, `median_ns`) regress
-/// upward; `events_per_sec` regresses downward. Everything else —
-/// counts, raw busy times, config echoes — is ignored.
+/// upward; any throughput rate (`*_per_sec` — events, decisions,
+/// labels) regresses downward. Everything else — counts, raw busy
+/// times, config echoes — is ignored.
 pub fn metric_direction(key: &str) -> Option<Direction> {
-    if key.ends_with("events_per_sec") {
+    if key.ends_with("_per_sec") {
         return Some(Direction::HigherBetter);
     }
     if key.ends_with("_ns")
@@ -553,6 +554,30 @@ mod tests {
         // Zero-baseline latency that became nonzero also regresses.
         assert!(keys.contains(&"phases.wait_bus_mean_ns"), "{keys:?}");
         assert!(diff.render().contains("REGRESSION"));
+    }
+
+    /// Every `*_per_sec` rate is a gated throughput metric — the
+    /// decision and label-farm rows ride the same strict diff as
+    /// `events_per_sec` — while counts and config echoes stay ignored.
+    #[test]
+    fn every_per_sec_rate_is_gated_higher_better() {
+        for key in [
+            "current.events_per_sec",
+            "current.decisions_per_sec",
+            "baseline.labels_per_sec",
+        ] {
+            assert_eq!(
+                metric_direction(key),
+                Some(Direction::HigherBetter),
+                "{key}"
+            );
+        }
+        assert_eq!(metric_direction("current.events"), None);
+        assert_eq!(metric_direction("config.batch"), None);
+        assert_eq!(
+            metric_direction("current.median_ns"),
+            Some(Direction::LowerBetter)
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Tracked perf gate: runs the sim_throughput bench (events/sec on the
-# sim_micro workload) and the fleet_scale bench (the fleet_1k scenario:
+# sim_micro workload), the fleet_scale bench (the fleet_1k scenario:
 # 1000 tenants / 64 device shards, events/sec plus core-scaling
-# efficiency), recording both in BENCH_sim.json at the repo root. The
-# JSON keeps the first-ever run as the baseline, so every later run
-# reports its speedup against the committed starting point.
+# efficiency), and the decision_throughput bench (decisions/sec for
+# rowwise vs batched vs quantized allocator calls, plus label-farm
+# labels/sec), recording all of them in BENCH_sim.json at the repo
+# root. The JSON keeps the first-ever run as the baseline, so every
+# later run reports its speedup against the committed starting point.
 #
 # The JSON also records a "phases" section: per-command time in each
 # simulated phase (unit wait, array op, bus wait, transfer, GC exec) as
@@ -51,6 +53,16 @@ SSDKEEPER_BENCH_JSON="$json_path" \
 # committed fleet_1k baseline across that rewrite.
 SSDKEEPER_BENCH_JSON="$json_path" SSDKEEPER_BENCH_PREV="$prev" \
     cargo bench --offline -q -p bench --bench fleet_scale
+
+# Decision layer: splices decision_throughput (rowwise vs batched vs
+# quantized decisions/sec) and label_farm (labels/sec at 1 vs N workers)
+# entries. Under SSDKEEPER_BENCH_STRICT=1 the bench itself enforces the
+# batching bar (batched >= 3x rowwise, batch >= 64) in-process, and
+# the ssdtrace diff below holds the recorded *_per_sec rows to the
+# regression threshold like every other rate.
+SSDKEEPER_BENCH_JSON="$json_path" SSDKEEPER_BENCH_PREV="$prev" \
+    SSDKEEPER_BENCH_STRICT="${SSDKEEPER_BENCH_STRICT:-0}" \
+    cargo bench --offline -q -p bench --bench decision_throughput
 
 if [ -n "$prev" ]; then
     echo "==> ssdtrace diff vs previous $json_path"

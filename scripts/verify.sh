@@ -63,23 +63,30 @@ if [ "$fleet_w1" != "$fleet_w4" ] || [ -z "$fleet_w1" ]; then
 fi
 echo "    $fleet_w1 (identical at both worker counts)"
 
-# The deprecated keeper/simulator entry points stay only as migration
-# shims; new call sites must use Keeper::run(RunSpec) / SimBuilder. The
-# allowlist covers the shims' own definitions + tests and the probe-layer
-# equivalence test that compares old vs new on purpose.
+# The deprecated keeper run_* shims are gone (call sites use
+# Keeper::run(RunSpec)); only the simulator's limit_cmd_slots shim
+# remains deprecated. No allowlist needed — nothing in-tree may call it.
 echo "==> deprecated-API call-site gate"
-deprecated_hits=$(grep -rnE \
-    '\.run_adaptive\(|\.run_adaptive_periodic\(|\.run_static\(|\.limit_cmd_slots\(' \
-    crates tests examples --include='*.rs' 2>/dev/null \
-    | grep -v '^crates/ssdkeeper/src/keeper\.rs:' \
-    | grep -v '^tests/probe_layer\.rs:' \
-    || true)
+deprecated_hits=$(grep -rnE '\.limit_cmd_slots\(' \
+    crates tests examples --include='*.rs' 2>/dev/null || true)
 if [ -n "$deprecated_hits" ]; then
     echo "verify: FAIL - new call sites of deprecated APIs found:" >&2
     echo "$deprecated_hits" >&2
-    echo "use Keeper::run(RunSpec::...) / SimBuilder::cmd_slot_limit instead." >&2
+    echo "use SimBuilder::cmd_slot_limit instead." >&2
     exit 1
 fi
+
+# Decision-layer agreement gate: the decide binary pushes one corpus
+# through the rowwise, batched, and quantized allocator paths and exits
+# non-zero if any row's decision diverges; the digest line is the
+# determinism handle (a pure function of --seed/--batch).
+echo "==> decision-layer agreement check (decide --smoke)"
+decide_out=$(./target/release/decide --smoke | grep '^decide digest:')
+if [ -z "$decide_out" ]; then
+    echo "verify: FAIL - decide --smoke produced no digest" >&2
+    exit 1
+fi
+echo "    $decide_out (rowwise, batched, and quantized paths agree)"
 
 # BENCH=1 additionally smokes the probe-overhead path: the sim_throughput
 # bench with a recorder attached (SSDKEEPER_BENCH_PROBE=1), a few fast
