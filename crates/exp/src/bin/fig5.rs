@@ -13,11 +13,15 @@
 //! the captured events (command lifecycle, bus occupancy, GC passes,
 //! reallocation, the keeper decision) are written to `path` in the SSDP
 //! little-endian codec (`ssdkeeper::obs::decode_events` reads it back).
+//! The tables always run on simulated timing; `--backend file:<path>`
+//! switches the `--trace-out` session to real-I/O replay, so the capture
+//! carries measured latencies instead of modeled ones.
 
 use exp::args::Args;
 use exp::fig5::{
     build_mix, render_fig5, render_percentiles, render_summary, render_tables45, run, Fig5Config,
 };
+use flash_sim::BackendKind;
 use ssdkeeper::keeper::{Keeper, KeeperConfig};
 use ssdkeeper::learner::{DatasetSpec, Learner, OptimizerChoice};
 use ssdkeeper::obs::{EventRecorder, RunSpec};
@@ -27,9 +31,10 @@ use workloads::msr::paper_mix_profiles;
 fn main() {
     let args = Args::from_env();
     let mut cfg = Fig5Config::default();
+    let common = args.common(cfg.seed);
     cfg.requests = args.get("requests", cfg.requests);
     cfg.max_total_iops = args.get("max-iops", cfg.max_total_iops);
-    cfg.seed = args.get("seed", cfg.seed);
+    cfg.seed = common.seed;
     if args.has("quick") {
         cfg.requests = cfg.requests.min(10_000);
     }
@@ -73,13 +78,15 @@ fn main() {
     println!("{}", render_summary(&results));
 
     if let Some(path) = args.get_opt("trace-out") {
-        write_trace(path, &cfg, &allocator);
+        write_trace(path, &cfg, &allocator, common.backend);
     }
 }
 
 /// Re-runs the Mix1 adapt-once session with a bounded recorder attached
-/// and persists the captured events at `path` in the SSDP codec.
-fn write_trace(path: &str, cfg: &Fig5Config, allocator: &ChannelAllocator) {
+/// and persists the captured events at `path` in the SSDP codec. The
+/// session executes on `backend` — `file:<path>` captures measured
+/// wall-clock latencies through the same recorder.
+fn write_trace(path: &str, cfg: &Fig5Config, allocator: &ChannelAllocator, backend: BackendKind) {
     let [profile, ..] = paper_mix_profiles();
     let trace = build_mix(&profile, cfg);
     let keeper = Keeper::new(
@@ -92,7 +99,11 @@ fn write_trace(path: &str, cfg: &Fig5Config, allocator: &ChannelAllocator) {
     );
     let mut rec = EventRecorder::with_capacity(1 << 16);
     keeper
-        .run(RunSpec::adapt_once(&trace, &[cfg.lpn_space; 4]).with_probe(&mut rec))
+        .run(
+            RunSpec::adapt_once(&trace, &[cfg.lpn_space; 4])
+                .with_probe(&mut rec)
+                .with_backend(backend),
+        )
         .expect("instrumented Mix1 run");
     let bytes = rec.encode();
     std::fs::write(path, &bytes).expect("write --trace-out file");

@@ -25,7 +25,9 @@ use parallel::PoolConfig;
 
 fn main() {
     let args = Args::from_env();
-    let seed = args.get("seed", 42u64);
+    let common = args.common(42);
+    common.require_sim("fleet");
+    let seed = common.seed;
     let mut cfg = if args.has("smoke") {
         FleetConfig::smoke(seed)
     } else {
@@ -51,7 +53,7 @@ fn main() {
     };
     let wall = started.elapsed();
 
-    if args.has("json") {
+    if common.json {
         println!("{}", trace_tools::render_json(&outcome.summary.merged, 0));
     } else {
         let events = outcome.summary.total_events();

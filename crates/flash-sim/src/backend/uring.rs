@@ -1,0 +1,436 @@
+//! Minimal raw-syscall io_uring rings for the file-replay backend.
+//!
+//! Hermetic by construction: no `libc`/`io-uring` crates — the three
+//! pieces of OS surface we need (`syscall`, `mmap`/`munmap`, `close`)
+//! are declared `extern "C"` against the C library std already links,
+//! and every structure layout is written out by hand against the
+//! kernel ABI (`linux/io_uring.h`), which is frozen the same way our
+//! own SSDP codec is.
+//!
+//! Scope is deliberately tiny: one thread, one ring, `IORING_OP_READ` /
+//! `IORING_OP_WRITE` on a plain fd, submit-and-wait batches. No SQPOLL,
+//! no registered buffers, no fixed files. [`Uring::new`] failing (old
+//! kernel, seccomp policy, container without the syscall) is an
+//! expected outcome the caller handles by falling back to
+//! `pread`/`pwrite` — see [`available`].
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+// --- C library surface (linked via std's libc dependency). -----------------
+
+extern "C" {
+    fn syscall(num: std::ffi::c_long, ...) -> std::ffi::c_long;
+    fn mmap(
+        addr: *mut std::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut std::ffi::c_void;
+    fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+    fn close(fd: i32) -> i32;
+    fn __errno_location() -> *mut i32;
+}
+
+fn errno() -> i32 {
+    unsafe { *__errno_location() }
+}
+
+// --- Kernel ABI constants (linux/io_uring.h, stable). ----------------------
+
+const SYS_IO_URING_SETUP: std::ffi::c_long = 425;
+const SYS_IO_URING_ENTER: std::ffi::c_long = 426;
+
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x0800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+const IORING_ENTER_GETEVENTS: u32 = 1;
+const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+
+/// `IORING_OP_READ` — positional read on a plain fd (kernel ≥ 5.6).
+pub(crate) const OP_READ: u8 = 22;
+/// `IORING_OP_WRITE` — positional write on a plain fd (kernel ≥ 5.6).
+pub(crate) const OP_WRITE: u8 = 23;
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 1;
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct SqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct CqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqringOffsets,
+    cq_off: CqringOffsets,
+}
+
+/// Submission queue entry, 64 bytes (the classic non-SQE128 layout).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    rw_flags: u32,
+    user_data: u64,
+    _extra: [u64; 3],
+}
+
+/// Completion queue entry, 16 bytes.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Cqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+#[inline]
+unsafe fn atomic_at(ptr: *mut u8, off: u32) -> &'static AtomicU32 {
+    &*(ptr.add(off as usize) as *const AtomicU32)
+}
+
+/// One io_uring instance: setup fd, mapped SQ/CQ rings, mapped SQE array.
+pub(crate) struct Uring {
+    fd: i32,
+    sq_ptr: *mut u8,
+    sq_map_len: usize,
+    /// Null when `IORING_FEAT_SINGLE_MMAP` folded the CQ ring into the
+    /// SQ mapping (every modern kernel); then CQ offsets index `sq_ptr`.
+    cq_ptr: *mut u8,
+    cq_map_len: usize,
+    sqes: *mut Sqe,
+    sqes_map_len: usize,
+    sq_entries: u32,
+    sq_mask: u32,
+    sq_array_off: u32,
+    sq_khead_off: u32,
+    sq_ktail_off: u32,
+    cq_mask: u32,
+    cq_khead_off: u32,
+    cq_ktail_off: u32,
+    cq_cqes_off: u32,
+    /// Local shadows of the ring cursors (single-threaded producer and
+    /// consumer, so only the kernel-shared words need atomics).
+    sq_tail: u32,
+    cq_head: u32,
+    to_submit: u32,
+}
+
+// The ring is owned by one thread at a time; raw pointers into the
+// kernel-shared mappings are what make it !Send by default.
+unsafe impl Send for Uring {}
+
+impl Uring {
+    /// Sets up a ring with (at least) `entries` SQEs, mapping all three
+    /// regions. Fails with the OS error text when the kernel or the
+    /// container's seccomp policy does not provide io_uring.
+    pub(crate) fn new(entries: u32) -> Result<Self, String> {
+        let mut params = UringParams::default();
+        let fd = unsafe {
+            syscall(
+                SYS_IO_URING_SETUP,
+                entries as usize,
+                &mut params as *mut UringParams,
+            )
+        };
+        if fd < 0 {
+            return Err(format!("io_uring_setup failed (errno {})", errno()));
+        }
+        let fd = fd as i32;
+
+        let sq_len = params.sq_off.array as usize + params.sq_entries as usize * 4;
+        let cq_len =
+            params.cq_off.cqes as usize + params.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let single = params.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let sq_map_len = if single { sq_len.max(cq_len) } else { sq_len };
+
+        let map = |len: usize, off: i64| -> Result<*mut u8, String> {
+            let p = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    fd,
+                    off,
+                )
+            };
+            if p as isize == -1 {
+                Err(format!("io_uring mmap failed (errno {})", errno()))
+            } else {
+                Ok(p as *mut u8)
+            }
+        };
+
+        let sq_ptr = match map(sq_map_len, IORING_OFF_SQ_RING) {
+            Ok(p) => p,
+            Err(e) => {
+                unsafe { close(fd) };
+                return Err(e);
+            }
+        };
+        let (cq_ptr, cq_map_len) = if single {
+            (std::ptr::null_mut(), 0)
+        } else {
+            match map(cq_len, IORING_OFF_CQ_RING) {
+                Ok(p) => (p, cq_len),
+                Err(e) => {
+                    unsafe {
+                        munmap(sq_ptr as *mut _, sq_map_len);
+                        close(fd);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        let sqes_map_len = params.sq_entries as usize * std::mem::size_of::<Sqe>();
+        let sqes = match map(sqes_map_len, IORING_OFF_SQES) {
+            Ok(p) => p as *mut Sqe,
+            Err(e) => {
+                unsafe {
+                    munmap(sq_ptr as *mut _, sq_map_len);
+                    if !cq_ptr.is_null() {
+                        munmap(cq_ptr as *mut _, cq_map_len);
+                    }
+                    close(fd);
+                }
+                return Err(e);
+            }
+        };
+
+        Ok(Self {
+            fd,
+            sq_ptr,
+            sq_map_len,
+            cq_ptr,
+            cq_map_len,
+            sqes,
+            sqes_map_len,
+            sq_entries: params.sq_entries,
+            sq_mask: params.sq_entries - 1,
+            sq_array_off: params.sq_off.array,
+            sq_khead_off: params.sq_off.head,
+            sq_ktail_off: params.sq_off.tail,
+            cq_mask: params.cq_entries - 1,
+            cq_khead_off: params.cq_off.head,
+            cq_ktail_off: params.cq_off.tail,
+            cq_cqes_off: params.cq_off.cqes,
+            sq_tail: 0,
+            cq_head: 0,
+            to_submit: 0,
+        })
+    }
+
+    #[inline]
+    fn cq_base(&self) -> *mut u8 {
+        if self.cq_ptr.is_null() {
+            self.sq_ptr
+        } else {
+            self.cq_ptr
+        }
+    }
+
+    /// SQEs the ring was sized for.
+    pub(crate) fn entries(&self) -> u32 {
+        self.sq_entries
+    }
+
+    /// Queues one positional read/write. Returns `false` when the SQ is
+    /// full (caller submits and retries).
+    pub(crate) fn push(
+        &mut self,
+        opcode: u8,
+        fd: i32,
+        buf: *mut u8,
+        len: u32,
+        offset: u64,
+        user_data: u64,
+    ) -> bool {
+        let khead = unsafe { atomic_at(self.sq_ptr, self.sq_khead_off) }.load(Ordering::Acquire);
+        if self.sq_tail.wrapping_sub(khead) >= self.sq_entries {
+            return false;
+        }
+        let idx = self.sq_tail & self.sq_mask;
+        unsafe {
+            *self.sqes.add(idx as usize) = Sqe {
+                opcode,
+                flags: 0,
+                ioprio: 0,
+                fd,
+                off: offset,
+                addr: buf as u64,
+                len,
+                rw_flags: 0,
+                user_data,
+                _extra: [0; 3],
+            };
+            let array = self.sq_ptr.add(self.sq_array_off as usize) as *mut u32;
+            *array.add(idx as usize) = idx;
+        }
+        self.sq_tail = self.sq_tail.wrapping_add(1);
+        unsafe { atomic_at(self.sq_ptr, self.sq_ktail_off) }.store(self.sq_tail, Ordering::Release);
+        self.to_submit += 1;
+        true
+    }
+
+    /// Submits everything queued and blocks until at least `wait`
+    /// completions are available.
+    pub(crate) fn submit_and_wait(&mut self, wait: u32) -> Result<(), String> {
+        while self.to_submit > 0 || wait > 0 {
+            let r = unsafe {
+                syscall(
+                    SYS_IO_URING_ENTER,
+                    self.fd as usize,
+                    self.to_submit as usize,
+                    wait as usize,
+                    IORING_ENTER_GETEVENTS as usize,
+                    0usize,
+                    0usize,
+                )
+            };
+            if r < 0 {
+                let e = errno();
+                if e == 4 {
+                    continue; // EINTR: retry the enter
+                }
+                return Err(format!("io_uring_enter failed (errno {e})"));
+            }
+            self.to_submit -= (r as u32).min(self.to_submit);
+            return Ok(());
+        }
+        Ok(())
+    }
+
+    /// Pops one completion: `(user_data, res)`.
+    pub(crate) fn pop(&mut self) -> Option<(u64, i32)> {
+        let base = self.cq_base();
+        let ktail = unsafe { atomic_at(base, self.cq_ktail_off) }.load(Ordering::Acquire);
+        if self.cq_head == ktail {
+            return None;
+        }
+        let idx = self.cq_head & self.cq_mask;
+        let cqe = unsafe { *(base.add(self.cq_cqes_off as usize) as *const Cqe).add(idx as usize) };
+        self.cq_head = self.cq_head.wrapping_add(1);
+        unsafe { atomic_at(base, self.cq_khead_off) }.store(self.cq_head, Ordering::Release);
+        Some((cqe.user_data, cqe.res))
+    }
+}
+
+impl Drop for Uring {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.sqes as *mut _, self.sqes_map_len);
+            munmap(self.sq_ptr as *mut _, self.sq_map_len);
+            if !self.cq_ptr.is_null() {
+                munmap(self.cq_ptr as *mut _, self.cq_map_len);
+            }
+            close(self.fd);
+        }
+    }
+}
+
+/// Whether this kernel/container provides io_uring at all, probed once
+/// per process by setting up (and immediately dropping) a 2-entry ring.
+pub fn available() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| Uring::new(2).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    /// End-to-end ring check against a real temp file; skips (cleanly
+    /// passing) where the environment has no io_uring.
+    #[test]
+    fn ring_reads_back_what_it_wrote() {
+        if !available() {
+            eprintln!("skipped: io_uring unavailable in this environment");
+            return;
+        }
+        let path = std::env::temp_dir().join(format!("ssdkeeper-uring-{}", std::process::id()));
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0u8; 8192]).unwrap();
+
+        use std::os::unix::io::AsRawFd;
+        let mut ring = Uring::new(4).unwrap();
+        let mut wbuf = vec![0xABu8; 4096];
+        let mut rbuf = vec![0u8; 4096];
+        assert!(ring.push(OP_WRITE, f.as_raw_fd(), wbuf.as_mut_ptr(), 4096, 4096, 7));
+        ring.submit_and_wait(1).unwrap();
+        let (ud, res) = ring.pop().unwrap();
+        assert_eq!((ud, res), (7, 4096));
+        assert!(ring.push(OP_READ, f.as_raw_fd(), rbuf.as_mut_ptr(), 4096, 4096, 8));
+        ring.submit_and_wait(1).unwrap();
+        let (ud, res) = ring.pop().unwrap();
+        assert_eq!((ud, res), (8, 4096));
+        assert_eq!(rbuf, wbuf);
+        drop(ring);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn push_reports_full_ring() {
+        if !available() {
+            eprintln!("skipped: io_uring unavailable in this environment");
+            return;
+        }
+        let mut ring = Uring::new(2).unwrap();
+        let mut buf = [0u8; 16];
+        // A ring of 2 entries accepts exactly 2 unsubmitted pushes. The
+        // fd is never submitted, so an invalid one is fine here.
+        assert!(ring.push(OP_READ, -1, buf.as_mut_ptr(), 16, 0, 0));
+        assert!(ring.push(OP_READ, -1, buf.as_mut_ptr(), 16, 0, 1));
+        assert!(!ring.push(OP_READ, -1, buf.as_mut_ptr(), 16, 0, 2));
+    }
+}

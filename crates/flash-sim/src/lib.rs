@@ -41,6 +41,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod event;
 pub mod ftl;
@@ -54,12 +55,13 @@ pub mod stats;
 pub mod tenant;
 pub mod trace;
 
+pub use backend::{Backend, BackendKind, FileBackend, SimBackend};
 pub use config::SsdConfig;
 pub use ftl::alloc::PageAllocPolicy;
 pub use geometry::{Geometry, PhysAddr};
 pub use metrics::{MetricsProbe, MetricsSummary};
 pub use probe::{replay, EventRecorder, NullProbe, Probe, ProbeEvent, Tee};
 pub use request::{IoRequest, Op};
-pub use sim::{Reallocation, SimBuilder, SimError, Simulator};
+pub use sim::{validate_trace, Reallocation, SimBuilder, SimError, Simulator};
 pub use stats::{LatencyStats, PhaseHist, PhaseReport, SimReport, TenantReport};
 pub use tenant::{ChannelSet, TenantLayout};

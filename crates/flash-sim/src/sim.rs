@@ -156,6 +156,14 @@ pub enum SimError {
         /// Largest admissible request count.
         max_requests: u64,
     },
+    /// A real-I/O backend operation failed (file open, syscall, short
+    /// transfer). Never raised by the simulated backend.
+    Io {
+        /// The operation that failed (e.g. `"open"`, `"read"`).
+        op: &'static str,
+        /// OS-level failure description.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -186,6 +194,7 @@ impl std::fmt::Display for SimError {
             SimError::ReqIdsExhausted { max_requests } => {
                 write!(f, "trace too long: at most {max_requests} requests per run")
             }
+            SimError::Io { op, reason } => write!(f, "real-I/O {op} failed: {reason}"),
         }
     }
 }
@@ -202,6 +211,64 @@ impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::Config(e)
     }
+}
+
+/// Validates a trace against the engine's admission rules — sorted by
+/// arrival, tenants within `tenant_count`, at least one page per
+/// request. Shared by every [`crate::backend::Backend`], so simulated
+/// and real-I/O replays reject malformed traces with identical errors.
+pub fn validate_trace(trace: &[IoRequest], tenant_count: usize) -> Result<(), SimError> {
+    let mut prev = 0u64;
+    for (i, r) in trace.iter().enumerate() {
+        if r.arrival_ns < prev {
+            return Err(SimError::TraceNotSorted { index: i });
+        }
+        prev = r.arrival_ns;
+        if r.tenant as usize >= tenant_count {
+            return Err(SimError::UnknownTenant {
+                index: i,
+                tenant: r.tenant,
+            });
+        }
+        if r.size_pages == 0 {
+            return Err(SimError::EmptyRequest { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Validates one scheduled reallocation against the registration rules
+/// every backend enforces: non-decreasing application times, tenants
+/// within the layout, constructible channel sets.
+pub(crate) fn validate_reallocation(
+    realloc: &Reallocation,
+    prev_at_ns: Option<u64>,
+    tenant_count: usize,
+    channels: usize,
+) -> Result<(), SimError> {
+    if let Some(last) = prev_at_ns {
+        if realloc.at_ns < last {
+            return Err(SimError::BadReallocation {
+                reason: format!(
+                    "reallocation at {} scheduled after one at {}",
+                    realloc.at_ns, last
+                ),
+            });
+        }
+    }
+    for (tenant, list, _) in &realloc.entries {
+        if *tenant >= tenant_count {
+            return Err(SimError::BadReallocation {
+                reason: format!("tenant {tenant} out of range"),
+            });
+        }
+        if ChannelSet::new(list, channels).is_none() {
+            return Err(SimError::BadReallocation {
+                reason: format!("invalid channel list {list:?} for tenant {tenant}"),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The trace-driven SSD simulator.
@@ -328,6 +395,17 @@ impl<P: Probe> SimBuilder<P> {
         }
     }
 
+    /// Decomposes the builder for [`crate::SimBuilder::build_backend`],
+    /// which re-assembles the pieces into a backend of the chosen kind.
+    pub(crate) fn into_parts(self) -> (SsdConfig, TenantLayout, Vec<f64>, Option<u32>) {
+        (
+            self.cfg,
+            self.layout,
+            self.fill_fractions,
+            self.cmd_slot_limit,
+        )
+    }
+
     /// Validates and constructs the simulator.
     pub fn build(self) -> Result<Simulator<P>, SimError> {
         let mut sim = Simulator::with_probe(self.cfg, self.layout, self.probe)?;
@@ -413,30 +491,19 @@ impl<P: Probe> Simulator<P> {
     /// Multiple reallocations may be scheduled; they must be registered in
     /// non-decreasing time order.
     pub fn schedule_reallocation(&mut self, realloc: Reallocation) -> Result<(), SimError> {
-        if let Some(last) = self.realloc.last() {
-            if realloc.at_ns < last.at_ns {
-                return Err(SimError::BadReallocation {
-                    reason: format!(
-                        "reallocation at {} scheduled after one at {}",
-                        realloc.at_ns, last.at_ns
-                    ),
-                });
-            }
-        }
-        for (tenant, channels, _) in &realloc.entries {
-            if *tenant >= self.layout.tenant_count() {
-                return Err(SimError::BadReallocation {
-                    reason: format!("tenant {tenant} out of range"),
-                });
-            }
-            if ChannelSet::new(channels, self.cfg.channels).is_none() {
-                return Err(SimError::BadReallocation {
-                    reason: format!("invalid channel list {channels:?} for tenant {tenant}"),
-                });
-            }
-        }
+        validate_reallocation(
+            &realloc,
+            self.realloc.last().map(|r| r.at_ns),
+            self.layout.tenant_count(),
+            self.cfg.channels,
+        )?;
         self.realloc.push(realloc);
         Ok(())
+    }
+
+    /// Caps the command arena (see [`SimBuilder::cmd_slot_limit`]).
+    pub(crate) fn set_cmd_slot_limit(&mut self, limit: u32) {
+        self.cmd_slot_limit = limit;
     }
 
     /// Preconditions the device: marks the first `fill_fraction` of each
@@ -553,23 +620,7 @@ impl<P: Probe> Simulator<P> {
     }
 
     fn validate_trace(&self, trace: &[IoRequest]) -> Result<(), SimError> {
-        let mut prev = 0u64;
-        for (i, r) in trace.iter().enumerate() {
-            if r.arrival_ns < prev {
-                return Err(SimError::TraceNotSorted { index: i });
-            }
-            prev = r.arrival_ns;
-            if r.tenant as usize >= self.layout.tenant_count() {
-                return Err(SimError::UnknownTenant {
-                    index: i,
-                    tenant: r.tenant,
-                });
-            }
-            if r.size_pages == 0 {
-                return Err(SimError::EmptyRequest { index: i });
-            }
-        }
-        Ok(())
+        validate_trace(trace, self.layout.tenant_count())
     }
 
     fn apply_reallocations(&mut self, now: u64) {

@@ -17,7 +17,7 @@ use flash_sim::probe::{
     KeeperDecision, NullProbe, Probe, Tee, DECISION_CLASSES, DECISION_FEATURES,
 };
 use flash_sim::sim::Reallocation;
-use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
+use flash_sim::{BackendKind, IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
 use workloads::{IntensityScale, ObservedFeatures};
 
 /// Errors surfaced by [`Keeper::run`].
@@ -94,6 +94,11 @@ pub struct RunSpec<'a> {
     /// `probe` sees). Off by default: sessions that don't ask pay
     /// nothing.
     pub collect_metrics: bool,
+    /// Execution backend the session runs on: the deterministic
+    /// simulated-timing engine (the default) or real I/O against a
+    /// file/device. Policy decisions, probes, and metrics are
+    /// backend-agnostic.
+    pub backend: BackendKind,
 }
 
 impl<'a> RunSpec<'a> {
@@ -105,6 +110,7 @@ impl<'a> RunSpec<'a> {
             mode: RunMode::Fixed(strategy),
             probe: None,
             collect_metrics: false,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -116,6 +122,7 @@ impl<'a> RunSpec<'a> {
             mode: RunMode::AdaptOnce,
             probe: None,
             collect_metrics: false,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -127,6 +134,7 @@ impl<'a> RunSpec<'a> {
             mode: RunMode::Periodic { window_ns },
             probe: None,
             collect_metrics: false,
+            backend: BackendKind::Sim,
         }
     }
 
@@ -140,6 +148,12 @@ impl<'a> RunSpec<'a> {
     /// [`RunOutcome::metrics`]); composes with [`RunSpec::with_probe`].
     pub fn with_metrics(mut self) -> Self {
         self.collect_metrics = true;
+        self
+    }
+
+    /// Selects the execution backend (default [`BackendKind::Sim`]).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -233,6 +247,7 @@ impl Keeper {
             mode,
             probe,
             collect_metrics,
+            backend,
         } = spec;
         let mut null = NullProbe;
         let probe: &mut dyn Probe = match probe {
@@ -242,11 +257,11 @@ impl Keeper {
         if collect_metrics {
             let mut metrics = MetricsProbe::new(self.config.observe_window_ns);
             let mut tee = Tee::new(probe, &mut metrics);
-            let mut out = self.dispatch(trace, lpn_spaces, mode, &mut tee)?;
+            let mut out = self.dispatch(trace, lpn_spaces, mode, &backend, &mut tee)?;
             out.metrics = Some(metrics.into_summary());
             Ok(out)
         } else {
-            self.dispatch(trace, lpn_spaces, mode, probe)
+            self.dispatch(trace, lpn_spaces, mode, &backend, probe)
         }
     }
 
@@ -255,15 +270,35 @@ impl Keeper {
         trace: &[IoRequest],
         lpn_spaces: &[u64],
         mode: RunMode,
+        backend: &BackendKind,
         probe: &mut dyn Probe,
     ) -> Result<RunOutcome, KeeperError> {
         match mode {
-            RunMode::Fixed(strategy) => self.run_fixed(trace, lpn_spaces, strategy, probe),
-            RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, probe),
+            RunMode::Fixed(strategy) => self.run_fixed(trace, lpn_spaces, strategy, backend, probe),
+            RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, backend, probe),
             RunMode::Periodic { window_ns } => {
-                self.run_periodic(trace, lpn_spaces, window_ns, probe)
+                self.run_periodic(trace, lpn_spaces, window_ns, backend, probe)
             }
         }
+    }
+
+    /// Executes a prepared session — layout plus time-ordered
+    /// reallocations — on the selected backend. Every mode funnels
+    /// through here; this is the single point where policy hands off to
+    /// command execution.
+    fn execute(
+        &self,
+        backend: &BackendKind,
+        layout: TenantLayout,
+        reallocations: Vec<Reallocation>,
+        trace: &[IoRequest],
+        probe: &mut dyn Probe,
+    ) -> Result<SimReport, KeeperError> {
+        let mut be = SimBuilder::new(self.config.ssd.clone(), layout).build_backend(backend)?;
+        for r in reallocations {
+            be.schedule_reallocation(r)?;
+        }
+        Ok(be.run(trace, probe)?)
     }
 
     /// The probe-facing form of a decision: network input vector plus the
@@ -295,6 +330,7 @@ impl Keeper {
         trace: &[IoRequest],
         lpn_spaces: &[u64],
         strategy: Strategy,
+        backend: &BackendKind,
         probe: &mut dyn Probe,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
@@ -313,10 +349,7 @@ impl Keeper {
         for (t, &space) in lpn_spaces.iter().enumerate() {
             layout = layout.with_lpn_space(t, space).with_policy(t, policies[t]);
         }
-        let report = SimBuilder::new(self.config.ssd.clone(), layout)
-            .probe(probe)
-            .build()?
-            .run(trace)?;
+        let report = self.execute(backend, layout, Vec::new(), trace, probe)?;
         Ok(RunOutcome {
             report,
             strategy,
@@ -332,6 +365,7 @@ impl Keeper {
         &self,
         trace: &[IoRequest],
         lpn_spaces: &[u64],
+        backend: &BackendKind,
         probe: &mut dyn Probe,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
@@ -355,18 +389,15 @@ impl Keeper {
         }
 
         let policies = hybrid::policies(&rw_chars, self.config.hybrid);
-        let mut sim = SimBuilder::new(self.config.ssd.clone(), layout)
-            .probe(probe)
-            .build()?;
-        sim.schedule_reallocation(Reallocation {
+        let realloc = Reallocation {
             at_ns: t_ns,
             entries: lists
                 .into_iter()
                 .enumerate()
                 .map(|(t, channels)| (t, channels, Some(policies[t])))
                 .collect(),
-        })?;
-        let report = sim.run(trace)?;
+        };
+        let report = self.execute(backend, layout, vec![realloc], trace, probe)?;
         let decisions = vec![Decision {
             at_ns: t_ns,
             features: features.clone(),
@@ -395,6 +426,7 @@ impl Keeper {
         trace: &[IoRequest],
         lpn_spaces: &[u64],
         window_ns: u64,
+        backend: &BackendKind,
         probe: &mut dyn Probe,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
@@ -460,13 +492,7 @@ impl Keeper {
             }
         }
 
-        let mut sim = SimBuilder::new(self.config.ssd.clone(), layout)
-            .probe(probe)
-            .build()?;
-        for r in reallocations {
-            sim.schedule_reallocation(r)?;
-        }
-        let report = sim.run(trace)?;
+        let report = self.execute(backend, layout, reallocations, trace, probe)?;
         Ok(RunOutcome {
             report,
             strategy: current.unwrap_or(Strategy::Shared),

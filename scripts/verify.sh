@@ -88,6 +88,45 @@ if [ -z "$decide_out" ]; then
 fi
 echo "    $decide_out (rowwise, batched, and quantized paths agree)"
 
+# Backend gate: replay --smoke runs the same mix through the simulated
+# backend and the real-I/O file backend (tmpfile target) under one
+# keeper session, and both runs must succeed with the same decision
+# (replay exits 2 if the backends disagree). The sim-side SSDP capture
+# is pinned by sha256: the Backend refactor must keep the simulated
+# path byte-identical, forever. The measured capture is then compared
+# with ssdtrace diff, which may legitimately flag regressions past its
+# threshold (modeled vs measured time): exit 0/1 are both fine there,
+# >=2 means the capture or summarizer is broken.
+echo "==> backend replay check (sim vs file, tmpfile target)"
+replay_dir="$(pwd)/target/replay_verify"
+mkdir -p "$replay_dir"
+./target/release/replay --smoke \
+    --capture-sim "$replay_dir/sim.ssdp" \
+    --capture-file "$replay_dir/file.ssdp" > "$replay_dir/replay.txt"
+sed 's/^/    /' "$replay_dir/replay.txt" | head -3
+sim_sha=$(sha256sum "$replay_dir/sim.ssdp" | cut -d' ' -f1)
+golden_sha=$(cat tests/golden/replay_sim_capture.sha256)
+if [ "$sim_sha" != "$golden_sha" ]; then
+    echo "verify: FAIL - sim-backend replay capture diverged from golden sha256" >&2
+    echo "  expected $golden_sha" >&2
+    echo "  got      $sim_sha" >&2
+    echo "If this change is intentional, regenerate with:" >&2
+    echo "  target/release/replay --smoke --capture-sim \$t.ssdp --capture-file /dev/null && sha256sum \$t.ssdp | cut -d' ' -f1 > tests/golden/replay_sim_capture.sha256" >&2
+    exit 1
+fi
+echo "    sim capture sha256 matches golden ($sim_sha)"
+./target/release/ssdtrace summarize --json "$replay_dir/sim.ssdp" > "$replay_dir/sim.json"
+./target/release/ssdtrace summarize --json "$replay_dir/file.ssdp" > "$replay_dir/file.json"
+diff_rc=0
+./target/release/ssdtrace diff "$replay_dir/sim.json" "$replay_dir/file.json" \
+    > "$replay_dir/diff.txt" 2>&1 || diff_rc=$?
+if [ "$diff_rc" -ge 2 ]; then
+    echo "verify: FAIL - ssdtrace diff errored (exit $diff_rc) on the replay captures" >&2
+    cat "$replay_dir/diff.txt" >&2
+    exit 1
+fi
+echo "    ssdtrace diff compared modeled vs measured (exit $diff_rc)"
+
 # BENCH=1 additionally smokes the probe-overhead path: the sim_throughput
 # bench with a recorder attached (SSDKEEPER_BENCH_PROBE=1), a few fast
 # iterations, JSON routed to target/ so the tracked BENCH_sim.json keeps
