@@ -132,6 +132,8 @@ impl Network {
         scratch: &'s mut ForwardScratch,
     ) -> &'s Matrix {
         assert_eq!(x.cols(), self.input_width(), "feature width mismatch");
+        obs::span!("ann_forward_batch");
+        obs::counter_add!("ann.rows", x.rows() as u64);
         self.layers[0].forward_batch_into(x, &mut scratch.ping);
         for (idx, layer) in self.layers.iter().enumerate().skip(1) {
             if idx % 2 == 1 {

@@ -292,6 +292,8 @@ impl QuantNetwork {
     /// Panics if `x.cols()` differs from the input width.
     pub fn forward_batch_into<'s>(&self, x: &Matrix, scratch: &'s mut QuantScratch) -> &'s Matrix {
         assert_eq!(x.cols(), self.input_width(), "feature width mismatch");
+        obs::span!("ann_quant_forward");
+        obs::counter_add!("ann.quant_rows", x.rows() as u64);
         self.layers[0].forward_into(x, &mut scratch.qx, &mut scratch.acc, &mut scratch.ping);
         for (idx, layer) in self.layers.iter().enumerate().skip(1) {
             if idx % 2 == 1 {

@@ -245,6 +245,12 @@ fn measure(w: &Workload, iters: usize, warmup: usize) -> RunSample {
 }
 
 fn main() {
+    if obs::ENABLED {
+        eprintln!(
+            "sim_throughput: WARNING: host tracing is compiled in (obs/enabled); \
+             throughput numbers are not comparable to the tracked baseline"
+        );
+    }
     let iters = env_usize("SSDKEEPER_BENCH_ITERS", 10).max(1);
     let warmup = env_usize("SSDKEEPER_BENCH_WARMUP", 2);
     let workloads = [sim_micro(), gc_heavy(), read_mostly_8ch()];

@@ -42,7 +42,8 @@ fn main() {
     );
 
     std::fs::write(&out, dataset.to_text()).expect("write dataset file");
-    println!("wrote {} samples to {out}", dataset.samples.len());
+    // Status, not a result row: stderr like the other progress lines.
+    eprintln!("wrote {} samples to {out}", dataset.samples.len());
 
     // Label distribution summary (top 12 classes).
     let hist = dataset.label_histogram();

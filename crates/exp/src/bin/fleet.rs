@@ -16,10 +16,16 @@
 //! (per tenant), `--workers N` (0 = auto), `--replacements N`,
 //! `--threshold X`, `--smoke` (small preset), `--json` (merged summary
 //! as ssdtrace JSON), `--timeline` (write the shard-tagged timeline CSV
-//! to artifacts/).
+//! to artifacts/), `--telemetry PATH|stderr` (stream live NDJSON
+//! counter snapshots for `ssdtrace live`), `--spans PATH` (write folded
+//! host spans for `ssdtrace flame`; both need `--features host-trace`).
+//!
+//! Under `--json`, stdout carries *only* the JSON document — the digest,
+//! timeline, and telemetry status lines move to stderr.
 
 use exp::args::Args;
 use exp::artifact_path;
+use exp::session::ObsSession;
 use fleet::{run_fleet, FleetConfig};
 use parallel::PoolConfig;
 
@@ -43,6 +49,10 @@ fn main() {
         cfg.pool = PoolConfig::with_workers(workers);
     }
 
+    let session = ObsSession::start(&args);
+    obs::gauge_set!("fleet.shards_total", cfg.devices as i64);
+    obs::gauge_set!("fleet.tenants_total", cfg.tenants as i64);
+
     let started = std::time::Instant::now();
     let outcome = match run_fleet(&cfg) {
         Ok(o) => o,
@@ -52,6 +62,7 @@ fn main() {
         }
     };
     let wall = started.elapsed();
+    session.finish();
 
     if common.json {
         println!("{}", trace_tools::render_json(&outcome.summary.merged, 0));
@@ -96,9 +107,18 @@ fn main() {
     if args.has("timeline") {
         let path = artifact_path("fleet_timeline.csv");
         std::fs::write(&path, outcome.summary.tagged_timeline_csv()).expect("write timeline csv");
-        println!("  timeline -> {}", path.display());
+        // Status line, not a result: keep it off stdout so `--json`
+        // output stays machine-parseable.
+        eprintln!("  timeline -> {}", path.display());
     }
 
-    // Stable, parseable determinism handle (compared by verify.sh).
-    println!("fleet digest: 0x{:016x}", outcome.summary.digest());
+    // Stable, parseable determinism handle (compared by verify.sh,
+    // which greps stdout in the human mode; under --json it moves to
+    // stderr so stdout is exactly one JSON document).
+    let digest = format!("fleet digest: 0x{:016x}", outcome.summary.digest());
+    if common.json {
+        eprintln!("{digest}");
+    } else {
+        println!("{digest}");
+    }
 }

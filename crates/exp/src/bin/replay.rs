@@ -24,6 +24,7 @@
 
 use exp::args::Args;
 use exp::artifact_path;
+use exp::session::ObsSession;
 use flash_sim::{BackendKind, EventRecorder, SimReport, SsdConfig};
 use ssdkeeper::keeper::{Keeper, KeeperConfig, RunOutcome, RunSpec};
 use ssdkeeper::ChannelAllocator;
@@ -88,6 +89,7 @@ fn tenant_row(report: &SimReport, t: usize) -> (f64, u64, u64) {
 fn main() {
     let args = Args::from_env();
     let common = args.common(11);
+    let session = ObsSession::start(&args);
     let requests = if args.has("smoke") {
         args.get("requests", 2_000usize)
     } else {
@@ -142,6 +144,7 @@ fn main() {
     if auto_target && !args.has("keep") {
         let _ = std::fs::remove_file(&target);
     }
+    session.finish();
 
     let engine = if flash_sim::backend::io_uring_available() {
         "io_uring"

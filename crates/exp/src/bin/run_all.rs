@@ -88,5 +88,5 @@ fn main() {
         fig6::distinct_strategies(&map)
     );
 
-    println!("run_all finished in {:?}", t0.elapsed());
+    eprintln!("run_all finished in {:?}", t0.elapsed());
 }

@@ -12,6 +12,7 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod session;
 pub mod table;
 pub mod traces;
 

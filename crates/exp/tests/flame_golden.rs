@@ -1,0 +1,51 @@
+//! Flame golden: a fixed-seed smoke fleet run must light up a stable
+//! set of span *names*. Counts and timings are excluded on purpose —
+//! they vary with the host — but which code paths are instrumented is
+//! a contract: a span silently disappearing from the profile is a
+//! regression in observability, and a new one must be pinned here.
+//!
+//! Only compiled with host tracing on:
+//! `cargo test -p exp --features host-trace --test flame_golden`.
+//! Integration tests get their own process, so the global span
+//! registry drained here holds exactly this run's spans.
+#![cfg(feature = "host-trace")]
+
+use std::collections::BTreeSet;
+
+#[test]
+fn smoke_run_span_names_match_golden() {
+    assert!(obs::ENABLED, "host-trace must enable obs");
+    let mut cfg = fleet::FleetConfig::smoke(42);
+    cfg.pool = parallel::PoolConfig::with_workers(2);
+    let outcome = fleet::run_fleet(&cfg).expect("smoke fleet run");
+    assert!(outcome.summary.merged.events_observed > 0);
+
+    let stats = obs::spans::drain();
+    let names: BTreeSet<&str> = stats
+        .paths
+        .keys()
+        .flat_map(|path| path.split(';'))
+        .collect();
+    let mut got = String::new();
+    for name in &names {
+        got.push_str(name);
+        got.push('\n');
+    }
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/span_names.txt"
+    );
+    let want = std::fs::read_to_string(golden_path).expect("read span-name golden");
+    assert_eq!(
+        got, want,
+        "span-name set diverged from tests/golden/span_names.txt; if the \
+         instrumentation change is intentional, replace the golden with the \
+         `got` set above (one name per line, sorted)"
+    );
+
+    // The folded export must round-trip through the flame parser and
+    // attribute real time at the roots.
+    let stacks = trace_tools::flame::parse_folded(&stats.folded()).expect("parse own folded");
+    assert!(stacks.root_ns() > 0, "no time attributed at span roots");
+}

@@ -191,6 +191,7 @@ impl Backend for FileBackend {
         trace: &[IoRequest],
         probe: &mut dyn Probe,
     ) -> Result<SimReport, SimError> {
+        obs::span!("backend_file");
         validate_trace(trace, self.layout.tenant_count())?;
         let page = self.cfg.page_size;
 

@@ -168,6 +168,7 @@ impl Backend for SimBackend {
         // `&mut dyn Probe` is itself a Probe (forwarding impl), so this
         // monomorphizes to exactly the engine the keeper always ran —
         // golden digests and SSDP captures stay byte-identical.
+        obs::span!("backend_sim");
         let mut sim = Simulator::with_probe(self.cfg, self.layout, probe)?;
         if let Some(limit) = self.cmd_slot_limit {
             sim.set_cmd_slot_limit(limit);

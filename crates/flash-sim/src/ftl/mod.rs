@@ -554,6 +554,7 @@ impl Ftl {
     /// erased early to supply the destination block for its own remaining
     /// live pages.
     pub(crate) fn migrate_for_gc(&mut self, plane: usize, victim: usize) -> (u32, bool) {
+        obs::span!("gc_migrate");
         let pages_per_block = self.pages_per_block;
         let mut live = std::mem::take(&mut self.gc_scratch);
         live.clear();

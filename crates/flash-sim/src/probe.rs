@@ -368,6 +368,7 @@ impl EventRecorder {
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.dropped += 1;
+            obs::counter_add!("probe.recorder_drops", 1u64);
         }
         self.buf.push_back(ev);
     }

@@ -560,25 +560,51 @@ impl<P: Probe> Simulator<P> {
         // sequence numbers 0..n-1 produced in the heap-based engine, where
         // every dynamic event's seq was >= n.
         let mut next_arrival: usize = 0;
+        // Host-side telemetry tallies, kept in locals and flushed to the
+        // obs registry after the loop (plus a periodic flush so a live
+        // monitor sees progress). Every touch is gated on the
+        // compile-time `obs::ENABLED` const, so the disabled build is
+        // bit-for-bit the uninstrumented loop.
+        obs::span!("sim_run");
+        let mut tel_wheel_pops: u64 = 0;
+        let mut tel_wheel_advances: u64 = 0;
+        let mut tel_arrivals: u64 = 0;
         loop {
             let (time, kind) = if next_arrival < trace.len() {
                 let at = trace[next_arrival].arrival_ns;
                 match self.events.pop_before(at) {
-                    Some(ev) => (ev.time, ev.kind),
+                    Some(ev) => {
+                        if obs::ENABLED {
+                            tel_wheel_pops += 1;
+                        }
+                        (ev.time, ev.kind)
+                    }
                     None => {
                         self.events.advance_to(at);
                         let r = next_arrival as ReqId;
                         next_arrival += 1;
+                        if obs::ENABLED {
+                            tel_wheel_advances += 1;
+                            tel_arrivals += 1;
+                        }
                         (at, EventKind::Arrive(r))
                     }
                 }
             } else {
                 match self.events.pop() {
-                    Some(ev) => (ev.time, ev.kind),
+                    Some(ev) => {
+                        if obs::ENABLED {
+                            tel_wheel_pops += 1;
+                        }
+                        (ev.time, ev.kind)
+                    }
                     None => break,
                 }
             };
             self.events_processed += 1;
+            if obs::ENABLED && self.events_processed & 0xFFFF == 0 {
+                obs::counter_add!("sim.events", 0x1_0000u64);
+            }
             if time >= self.next_realloc_at {
                 self.apply_reallocations(time);
             }
@@ -601,6 +627,14 @@ impl<P: Probe> Simulator<P> {
 
         debug_assert!(self.units.iter().all(|d| !d.busy && d.queue.is_empty()));
         debug_assert!(self.buses.iter().all(|b| !b.busy && b.queue.is_empty()));
+
+        if obs::ENABLED {
+            obs::counter_add!("sim.events", self.events_processed & 0xFFFF);
+            obs::counter_add!("sim.wheel_pops", tel_wheel_pops);
+            obs::counter_add!("sim.wheel_advances", tel_wheel_advances);
+            obs::counter_add!("sim.arrivals", tel_arrivals);
+            obs::counter_add!("sim.runs", 1u64);
+        }
 
         Ok(SimReport {
             tenants: std::mem::take(&mut self.tenants),
@@ -651,6 +685,7 @@ impl<P: Probe> Simulator<P> {
                     },
                     channel_mask,
                 });
+                obs::counter_add!("sim.reallocs_applied", 1u64);
             }
             self.next_realloc += 1;
         }
@@ -749,6 +784,8 @@ impl<P: Probe> Simulator<P> {
                             erased_blocks: gc.erased_blocks,
                             duration_ns: gc.duration_ns,
                         });
+                        obs::counter_add!("sim.gc_passes", 1u64);
+                        obs::counter_add!("sim.gc_moved_pages", gc.moved_pages as u64);
                         self.spawn_cmd(
                             NO_REQ,
                             io.tenant,
@@ -783,6 +820,7 @@ impl<P: Probe> Simulator<P> {
         gc_duration_ns: u64,
         now: u64,
     ) -> Result<(), SimError> {
+        obs::counter_add!("sim.cmds_issued", 1u64);
         let cmd = Cmd {
             req,
             tenant,
@@ -951,12 +989,14 @@ impl<P: Probe> Simulator<P> {
             channel,
             waited_ns: waited_for_bus,
         });
+        obs::counter_add!("sim.bus_transfers", 1u64);
         self.events
             .push(now + self.transfer_ns, EventKind::BusDone(cmd_id));
     }
 
     #[inline]
     fn on_die_done(&mut self, cmd_id: CmdId, now: u64) {
+        obs::counter_add!("sim.die_ops", 1u64);
         let phase = self.cmds[cmd_id as usize].phase;
         match phase {
             Phase::ArrayRead => {
@@ -1043,6 +1083,7 @@ impl<P: Probe> Simulator<P> {
 
     #[inline]
     fn complete_cmd(&mut self, cmd_id: CmdId, now: u64) {
+        obs::counter_add!("sim.cmds_completed", 1u64);
         self.makespan_ns = self.makespan_ns.max(now);
         let cmd = self.cmds[cmd_id as usize];
         let req = cmd.req;

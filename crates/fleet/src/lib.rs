@@ -285,8 +285,18 @@ fn run_shard(
             makespan_ns: 0,
         });
     }
+    obs::span!("fleet_shard");
     let (trace, lpn_spaces) = shard_inputs(cfg, &slot_tenants, fetch);
     let outcome = keeper.run(RunSpec::adapt_once(&trace, &lpn_spaces).with_metrics())?;
+    obs::counter_add!("fleet.shards_done", 1u64);
+    obs::counter_add!(
+        "fleet.events_observed",
+        outcome
+            .metrics
+            .as_ref()
+            .expect("with_metrics() guarantees a summary")
+            .events_observed
+    );
     Ok(ShardSummary {
         device,
         strategy: outcome.strategy,

@@ -1,0 +1,178 @@
+//! Global registry of named monotonic counters and gauges.
+//!
+//! Registration (first use of a name) takes a mutex; increments are a
+//! single relaxed atomic op on a leaked `&'static` handle, so hot paths
+//! that cache the handle (the [`counter_add!`](crate::counter_add)
+//! macro does) never touch the lock. Snapshots walk the registry under
+//! the lock and read each atomic once; values from concurrent writers
+//! are torn only across *different* counters, which is fine for
+//! telemetry.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonic counter. Increment-only; readers see a value that never
+/// decreases.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (e.g. "shards in flight").
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge (relaxed).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d`, which may be negative (relaxed).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+static COUNTERS: Mutex<Vec<(&'static str, &'static Counter)>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<(&'static str, &'static Gauge)>> = Mutex::new(Vec::new());
+
+/// Finds or registers the counter named `name`, returning a `'static`
+/// handle callers should cache. Registered counters live for the whole
+/// process (the backing box is leaked — the set of instrumentation
+/// names is small and fixed).
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = COUNTERS.lock().unwrap();
+    if let Some((_, c)) = reg.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+    reg.push((name, c));
+    c
+}
+
+/// Finds or registers the gauge named `name`. Same contract as
+/// [`counter`].
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = GAUGES.lock().unwrap();
+    if let Some((_, g)) = reg.iter().find(|(n, _)| *n == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+    reg.push((name, g));
+    g
+}
+
+/// A point-in-time copy of every registered counter and gauge, sorted
+/// by name so rendered output is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Reads every registered counter and gauge.
+pub fn snapshot() -> Snapshot {
+    let mut counters: Vec<(String, u64)> = COUNTERS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, i64)> = GAUGES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, g)| (n.to_string(), g.get()))
+        .collect();
+    gauges.sort();
+    Snapshot { counters, gauges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let a = counter("test.counters.idem");
+        let b = counter("test.counters.idem");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = gauge("test.counters.gauge");
+        g.set(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_contains_registered_names() {
+        counter("test.counters.snap_b").add(1);
+        counter("test.counters.snap_a").add(2);
+        let s = snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(s.counter("test.counters.snap_a"), Some(2));
+        assert!(s.counter("test.counters.snap_b").unwrap() >= 1);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let c = counter("test.counters.concurrent");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,91 @@
+//! Host-side tracing and live telemetry (std-only).
+//!
+//! Three layers, all operating on **wall-clock host time** and never on
+//! simulated time — nothing here feeds simulator state, so determinism
+//! digests are untouched by construction:
+//!
+//! 1. [`spans`] — hierarchical scoped spans ([`span!`]) aggregated into a
+//!    per-thread call tree (enter/exit touches only thread-local memory;
+//!    no locks on the hot path), merged across threads on demand and
+//!    exported as flamegraph.pl-compatible folded-stack lines.
+//! 2. [`counters`] — a global registry of named monotonic counters and
+//!    gauges with relaxed-atomic increments, snapshotted on demand.
+//! 3. [`monitor`] — a periodic sampler thread streaming counter
+//!    snapshots as NDJSON to a file or stderr, consumed by
+//!    `ssdtrace live`.
+//!
+//! # Zero-cost when off
+//!
+//! The crate is always compiled (so the registry/sampler tests run in
+//! the default build), but the instrumentation macros ([`span!`],
+//! [`counter_add!`], [`gauge_set!`]) expand to code guarded by
+//! [`ENABLED`], a `const` that is `false` unless the `enabled` cargo
+//! feature is on. `if ENABLED { ... }` with a `false` const is removed
+//! by the optimizer, so the disabled path costs nothing: goldens, SSDP
+//! captures, and `sim_throughput` are bit-identical with tracing off.
+//! The const lives *here* (not a `cfg!` in the macro expansion) so the
+//! gate reflects obs's own feature set, not the caller crate's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counters;
+pub mod monitor;
+pub mod spans;
+
+/// `true` iff the `enabled` cargo feature is on. Instrumentation macros
+/// test this const so disabled call sites const-fold to nothing.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Opens a scoped span that closes when the enclosing scope ends.
+///
+/// `span!("name")` binds an RAII guard to a hidden local; on drop the
+/// elapsed nanoseconds are accumulated into the current thread's span
+/// tree under the parent span that was active at entry. Names must be
+/// `'static` string literals without `;` or whitespace (they become
+/// folded-stack frames). Expands to nothing when [`ENABLED`] is false.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = if $crate::ENABLED {
+            Some($crate::spans::enter($name))
+        } else {
+            None
+        };
+    };
+}
+
+/// Adds `n` to the named monotonic counter (registered on first use).
+///
+/// The registry handle is cached in a per-call-site `OnceLock`, so the
+/// steady-state cost is one relaxed atomic add. Expands to nothing when
+/// [`ENABLED`] is false.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $n:expr) => {
+        if $crate::ENABLED {
+            static __OBS_COUNTER: ::std::sync::OnceLock<&'static $crate::counters::Counter> =
+                ::std::sync::OnceLock::new();
+            __OBS_COUNTER
+                .get_or_init(|| $crate::counters::counter($name))
+                .add($n as u64);
+        }
+    };
+}
+
+/// Sets the named gauge to `v` (registered on first use).
+///
+/// Same caching and gating as [`counter_add!`].
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {
+        if $crate::ENABLED {
+            static __OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::counters::Gauge> =
+                ::std::sync::OnceLock::new();
+            __OBS_GAUGE
+                .get_or_init(|| $crate::counters::gauge($name))
+                .set($v as i64);
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! Regression test for the scoped-worker flush race: `thread::scope`
+//! unblocks when a worker's closure returns, but the worker's TLS
+//! destructors may still be running — so span publication must not
+//! depend on TLS teardown. The outermost-span-close flush runs inside
+//! the closure, giving a happens-before edge to the post-scope drain.
+//! Lives in its own integration binary so the process-global span
+//! state is exactly this test's.
+
+#[test]
+fn worker_spans_are_visible_immediately_after_scope_join() {
+    for round in 0..50 {
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _g = obs::spans::enter("w_root");
+                    let _h = obs::spans::enter("w_leaf");
+                });
+            }
+        });
+        let stats = obs::spans::drain();
+        assert_eq!(
+            stats.paths.get("w_root").map(|t| t.count),
+            Some(2),
+            "round {round}: a worker's flush raced the drain"
+        );
+        assert_eq!(stats.paths.get("w_root;w_leaf").map(|t| t.count), Some(2));
+    }
+}

@@ -134,6 +134,8 @@ impl ChannelAllocator {
 
     /// Predicts the best strategy for the observed features.
     pub fn predict(&self, features: &FeatureVector) -> Strategy {
+        obs::span!("decide");
+        obs::counter_add!("keeper.decisions", 1u64);
         let input = features.to_input();
         let class = match (&self.network, &self.quant) {
             (Some(net), _) => net.predict_one(&input),
@@ -157,6 +159,8 @@ impl ChannelAllocator {
         if features.is_empty() {
             return;
         }
+        obs::span!("decide_batch");
+        obs::counter_add!("keeper.decisions", features.len() as u64);
         scratch.input.resize(features.len(), 9);
         for (i, f) in features.iter().enumerate() {
             scratch.input.row_mut(i).copy_from_slice(&f.to_input());

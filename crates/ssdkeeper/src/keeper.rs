@@ -236,6 +236,8 @@ impl Keeper {
     /// probe observes every engine hook plus the keeper's own decision
     /// events (feature vector + predicted class probabilities).
     pub fn run(&self, spec: RunSpec<'_>) -> Result<RunOutcome, KeeperError> {
+        obs::span!("keeper_run");
+        obs::counter_add!("keeper.runs", 1u64);
         if spec.lpn_spaces.is_empty() || spec.lpn_spaces.len() > TENANTS {
             return Err(KeeperError::TenantCount {
                 got: spec.lpn_spaces.len(),
@@ -294,6 +296,8 @@ impl Keeper {
         trace: &[IoRequest],
         probe: &mut dyn Probe,
     ) -> Result<SimReport, KeeperError> {
+        obs::span!("keeper_execute");
+        obs::counter_add!("keeper.reallocs_planned", reallocations.len() as u64);
         let mut be = SimBuilder::new(self.config.ssd.clone(), layout).build_backend(backend)?;
         for r in reallocations {
             be.schedule_reallocation(r)?;
@@ -448,6 +452,13 @@ impl Keeper {
         // window. Each batch row equals the per-window `predict`, so the
         // decisions (and the merged outcome) are identical to the
         // sequential loop this replaced.
+        // Explicit guard (not `span!`) so planning closes before the
+        // execute handoff opens its own span.
+        let plan_span = if obs::ENABLED {
+            Some(obs::spans::enter("keeper_plan_windows"))
+        } else {
+            None
+        };
         let mut windows: Vec<(u64, ObservedFeatures)> = Vec::new();
         let mut features: Vec<FeatureVector> = Vec::new();
         let mut boundary = t_ns;
@@ -492,6 +503,7 @@ impl Keeper {
             }
         }
 
+        drop(plan_span);
         let report = self.execute(backend, layout, reallocations, trace, probe)?;
         Ok(RunOutcome {
             report,

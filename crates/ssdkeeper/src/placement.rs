@@ -159,6 +159,8 @@ impl FleetPlacer {
     /// device's least-loaded slot (ties: lowest slot). A pure function of
     /// `loads` — identical inputs place identically on every run.
     pub fn place(&self, loads: &[TenantLoad]) -> Placement {
+        obs::span!("fleet_place");
+        obs::counter_add!("keeper.placements", loads.len() as u64);
         let mut order: Vec<usize> = (0..loads.len()).collect();
         order.sort_by(|&a, &b| {
             loads[b]

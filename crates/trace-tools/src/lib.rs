@@ -13,13 +13,19 @@
 //!   activity for plotting;
 //! * [`diff_docs`] — compare the numeric leaves of two reports (either
 //!   two `summarize --json` outputs or two `BENCH_sim.json`), flagging
-//!   regressions past a threshold so CI can hold the line.
+//!   regressions past a threshold so CI can hold the line;
+//! * [`live`] — validate/summarize the NDJSON telemetry streamed by the
+//!   obs sampler (`--telemetry` on exp binaries);
+//! * [`flame`] — fold, merge, and rank the host-side span stacks the
+//!   obs layer exports (`--spans`), flamegraph.pl-compatible.
 //!
 //! JSON output is byte-deterministic for a given capture: field order is
 //! fixed and floats print with pinned precision, which is what lets
 //! `scripts/verify.sh` keep a golden summary under `tests/golden/`.
 
+pub mod flame;
 pub mod json;
+pub mod live;
 
 use flash_sim::metrics::{MetricsProbe, MetricsSummary};
 use flash_sim::probe::{decode_events, replay, ProbeCodecError, ProbeEvent};
@@ -64,6 +70,13 @@ pub fn render_text(s: &MetricsSummary, dropped: u64) -> String {
         dropped,
         s.span_ns() as f64 / 1e6
     );
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: recorder dropped {dropped} events — percentiles and counts below \
+             reflect only the retained window"
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -508,6 +521,24 @@ mod tests {
         let csv = render_csv(&s);
         assert_eq!(csv.lines().count(), 1 + 2 * s.tenants.len());
         assert!(csv.starts_with("tenant,class,count"));
+    }
+
+    #[test]
+    fn summarize_warns_when_recorder_dropped_events() {
+        let (s, _) = sample_summary();
+        let clean = render_text(&s, 0);
+        assert!(
+            !clean.contains("WARNING"),
+            "no warning without drops:\n{clean}"
+        );
+        let lossy = render_text(&s, 37);
+        assert!(
+            lossy.contains("WARNING: recorder dropped 37 events"),
+            "{lossy}"
+        );
+        // The JSON schema is unchanged either way — drops surface in the
+        // existing "dropped" field the golden summary pins.
+        assert!(render_json(&s, 37).contains("\"dropped\": 37"));
     }
 
     #[test]

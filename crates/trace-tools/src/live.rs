@@ -1,0 +1,228 @@
+//! `ssdtrace live` — validate and summarize a telemetry NDJSON stream.
+//!
+//! The stream is produced by the obs sampler (`--telemetry` on the exp
+//! binaries): one JSON object per line, `"seq"` increasing from 0,
+//! exactly one `"final":true` line at the end. [`parse_stream`] is
+//! strict — any unparseable or schema-violating line is an error naming
+//! the 1-based line number — because verify.sh uses it as the "every
+//! NDJSON line parses" gate.
+
+use crate::json::{self, Json};
+
+/// A validated telemetry stream, summarized.
+#[derive(Debug, Clone, Default)]
+pub struct LiveSummary {
+    /// Number of snapshot lines.
+    pub lines: usize,
+    /// Whether the stream ends with a `"final":true` snapshot.
+    pub final_present: bool,
+    /// `elapsed_ms` of the last snapshot.
+    pub elapsed_ms: f64,
+    /// Counter values from the last snapshot, name-sorted.
+    pub counters: Vec<(String, f64)>,
+    /// Gauge values from the last snapshot, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Per-counter maximum instantaneous rate (from the stream's
+    /// `rates` objects), name-sorted.
+    pub max_rates: Vec<(String, f64)>,
+}
+
+impl LiveSummary {
+    /// The final value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+fn numbers_of(obj: &Json, key: &str, line_no: usize) -> Result<Vec<(String, f64)>, String> {
+    let inner = obj
+        .get(key)
+        .ok_or_else(|| format!("line {line_no}: missing \"{key}\""))?;
+    let Json::Obj(members) = inner else {
+        return Err(format!("line {line_no}: \"{key}\" is not an object"));
+    };
+    let mut out = Vec::with_capacity(members.len());
+    for (name, v) in members {
+        let n = v
+            .as_num()
+            .ok_or_else(|| format!("line {line_no}: \"{key}.{name}\" is not a number"))?;
+        out.push((name.clone(), n));
+    }
+    Ok(out)
+}
+
+/// Parses and validates a whole telemetry stream. Errors name the
+/// offending 1-based line.
+pub fn parse_stream(text: &str) -> Result<LiveSummary, String> {
+    let mut summary = LiveSummary::default();
+    let mut max_rates: Vec<(String, f64)> = Vec::new();
+    let mut expected_seq = 0u64;
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err("empty stream: no snapshots".into());
+    }
+    for (i, line) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        let obj = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let version = obj
+            .get("ssdkeeper_telemetry")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("line {line_no}: missing \"ssdkeeper_telemetry\""))?;
+        if version != 1.0 {
+            return Err(format!(
+                "line {line_no}: unsupported telemetry version {version}"
+            ));
+        }
+        let seq = obj
+            .get("seq")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("line {line_no}: missing \"seq\""))? as u64;
+        if seq != expected_seq {
+            return Err(format!(
+                "line {line_no}: seq {seq}, expected {expected_seq}"
+            ));
+        }
+        expected_seq += 1;
+        let elapsed_ms = obj
+            .get("elapsed_ms")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("line {line_no}: missing \"elapsed_ms\""))?;
+        let is_final = match obj.get("final") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("line {line_no}: missing \"final\" bool")),
+        };
+        if is_final && line_no != lines.len() {
+            return Err(format!(
+                "line {line_no}: \"final\":true before end of stream"
+            ));
+        }
+        let counters = numbers_of(&obj, "counters", line_no)?;
+        let gauges = numbers_of(&obj, "gauges", line_no)?;
+        for (name, rate) in numbers_of(&obj, "rates", line_no)? {
+            match max_rates.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, m)) => *m = m.max(rate),
+                None => max_rates.push((name, rate)),
+            }
+        }
+        summary.lines = line_no;
+        summary.final_present = is_final;
+        summary.elapsed_ms = elapsed_ms;
+        summary.counters = counters;
+        summary.gauges = gauges;
+    }
+    max_rates.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.max_rates = max_rates;
+    Ok(summary)
+}
+
+/// Human-readable rendering of a validated stream.
+pub fn render(s: &LiveSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry: {} snapshots over {:.1} ms ({})",
+        s.lines,
+        s.elapsed_ms,
+        if s.final_present {
+            "final snapshot present"
+        } else {
+            "STREAM TRUNCATED: no final snapshot"
+        }
+    );
+    if s.counters.is_empty() {
+        let _ = writeln!(
+            out,
+            "no counters registered (binary built without host tracing?)"
+        );
+        return out;
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<28} {:>16} {:>14} {:>14}",
+        "counter", "final", "avg/s", "peak/s"
+    );
+    let secs = (s.elapsed_ms / 1e3).max(1e-9);
+    for (name, v) in &s.counters {
+        let peak = s
+            .max_rates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0);
+        let _ = writeln!(out, "{name:<28} {v:>16.0} {:>14.0} {peak:>14.0}", v / secs);
+    }
+    if !s.gauges.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<28} {:>16}", "gauge", "final");
+        for (name, v) in &s.gauges {
+            let _ = writeln!(out, "{name:<28} {v:>16.0}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"ssdkeeper_telemetry\":1,\"seq\":0,\"elapsed_ms\":0.1,\"final\":false,\"counters\":{\"sim.events\":0},\"gauges\":{},\"rates\":{\"sim.events\":0.0}}\n",
+        "{\"ssdkeeper_telemetry\":1,\"seq\":1,\"elapsed_ms\":10.0,\"final\":false,\"counters\":{\"sim.events\":500},\"gauges\":{},\"rates\":{\"sim.events\":50000.0}}\n",
+        "{\"ssdkeeper_telemetry\":1,\"seq\":2,\"elapsed_ms\":20.0,\"final\":true,\"counters\":{\"sim.events\":900},\"gauges\":{\"fleet.shards_total\":8},\"rates\":{\"sim.events\":40000.0}}\n",
+    );
+
+    #[test]
+    fn valid_stream_summarizes() {
+        let s = parse_stream(GOOD).unwrap();
+        assert_eq!(s.lines, 3);
+        assert!(s.final_present);
+        assert_eq!(s.counter("sim.events"), Some(900.0));
+        assert_eq!(s.max_rates, vec![("sim.events".into(), 50000.0)]);
+        let text = render(&s);
+        assert!(text.contains("3 snapshots"));
+        assert!(text.contains("sim.events"));
+        assert!(text.contains("final snapshot present"));
+    }
+
+    #[test]
+    fn truncated_stream_is_flagged_not_errored() {
+        let two_lines: String = GOOD.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let s = parse_stream(&two_lines).unwrap();
+        assert!(!s.final_present);
+        assert!(render(&s).contains("STREAM TRUNCATED"));
+    }
+
+    #[test]
+    fn malformed_line_errors_with_line_number() {
+        let bad = format!(
+            "{}{{not json\n",
+            GOOD.lines().next().unwrap().to_owned() + "\n"
+        );
+        let err = parse_stream(&bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn seq_gap_is_an_error() {
+        let skipped = GOOD.replace("\"seq\":1", "\"seq\":7");
+        let err = parse_stream(&skipped).unwrap_err();
+        assert!(err.contains("seq 7, expected 1"), "{err}");
+    }
+
+    #[test]
+    fn early_final_is_an_error() {
+        let early = GOOD.replacen("\"final\":false", "\"final\":true", 1);
+        let err = parse_stream(&early).unwrap_err();
+        assert!(err.contains("before end of stream"), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(parse_stream("").is_err());
+    }
+}

@@ -5,14 +5,16 @@
 //! ssdtrace timeline  <capture.ssdp> [--window-ns N]
 //! ssdtrace diff      <old.json> <new.json> [--threshold FRAC]
 //! ssdtrace sample    <out.ssdp>
+//! ssdtrace live      <telemetry.ndjson> [--counter NAME]
+//! ssdtrace flame     <spans.folded> [--top N] [--folded]
 //! ```
 //!
 //! Exit codes: 0 success (and no regressions for `diff`), 1 regressions
 //! found, 2 usage / I/O / decode errors.
 
 use trace_tools::{
-    decode_capture, diff_texts, render_csv, render_json, render_text, sample_capture, summarize,
-    timeline_csv,
+    decode_capture, diff_texts, flame, live, render_csv, render_json, render_text, sample_capture,
+    summarize, timeline_csv,
 };
 
 const USAGE: &str = "\
@@ -35,6 +37,17 @@ USAGE:
     ssdtrace sample <out.ssdp>
         Write the deterministic miniature capture the golden-summary
         check in scripts/verify.sh is built on.
+
+    ssdtrace live <telemetry.ndjson> [--counter NAME]
+        Validate an obs telemetry stream (every line must parse, seqs
+        contiguous, final snapshot last) and summarize final counter
+        values with average/peak rates. --counter prints only that
+        counter's final value, for scripting.
+
+    ssdtrace flame <spans.folded> [--top N] [--folded]
+        Rank host-side spans by self time (default top 15) from a
+        folded-stack file (exp --spans PATH). --folded re-emits the
+        merged stacks in flamegraph.pl format instead.
 ";
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
@@ -151,6 +164,61 @@ fn run(mut args: Vec<String>) -> i32 {
             } else {
                 0
             }
+        }
+        "live" => {
+            let counter = match parse_flag::<String>(&mut args, "--counter") {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let [path] = args.as_slice() else {
+                return fail("live takes exactly one telemetry path");
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(format_args!("{path}: {e}")),
+            };
+            let summary = match live::parse_stream(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(format_args!("{path}: {e}")),
+            };
+            match counter {
+                Some(name) => match summary.counter(&name) {
+                    Some(v) => {
+                        println!("{v:.0}");
+                        0
+                    }
+                    None => fail(format_args!("{path}: no counter named `{name}`")),
+                },
+                None => {
+                    print!("{}", live::render(&summary));
+                    0
+                }
+            }
+        }
+        "flame" => {
+            let top = match parse_flag::<usize>(&mut args, "--top") {
+                Ok(v) => v.unwrap_or(15),
+                Err(code) => return code,
+            };
+            let emit_folded = args.iter().any(|a| a == "--folded");
+            args.retain(|a| a != "--folded");
+            let [path] = args.as_slice() else {
+                return fail("flame takes exactly one folded-stack path");
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(format_args!("{path}: {e}")),
+            };
+            let stacks = match flame::parse_folded(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(format_args!("{path}: {e}")),
+            };
+            if emit_folded {
+                print!("{}", stacks.folded());
+            } else {
+                print!("{}", flame::render_top(&stacks, top));
+            }
+            0
         }
         "sample" => {
             let [path] = args.as_slice() else {

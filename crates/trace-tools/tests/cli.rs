@@ -93,3 +93,71 @@ fn no_arguments_prints_usage_and_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr_of(&out).contains("USAGE"));
 }
+
+#[test]
+fn live_validates_a_stream_and_extracts_counters() {
+    let tel = scratch("tel.ndjson");
+    std::fs::write(
+        &tel,
+        concat!(
+            "{\"ssdkeeper_telemetry\":1,\"seq\":0,\"elapsed_ms\":0.5,\"final\":false,\"counters\":{\"sim.events\":100},\"gauges\":{},\"rates\":{\"sim.events\":0.0}}\n",
+            "{\"ssdkeeper_telemetry\":1,\"seq\":1,\"elapsed_ms\":9.5,\"final\":true,\"counters\":{\"sim.events\":1234},\"gauges\":{},\"rates\":{\"sim.events\":126000.0}}\n",
+        ),
+    )
+    .unwrap();
+    let out = ssdtrace(&["live", tel.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("2 snapshots"), "{text}");
+    let val = ssdtrace(&["live", tel.to_str().unwrap(), "--counter", "sim.events"]);
+    assert_eq!(val.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&val.stdout).trim(), "1234");
+}
+
+#[test]
+fn live_rejects_malformed_stream_naming_the_line() {
+    let tel = scratch("tel_bad.ndjson");
+    std::fs::write(
+        &tel,
+        "{\"ssdkeeper_telemetry\":1,\"seq\":0,\"elapsed_ms\":0.5,\"final\":true,\"counters\":{},\"gauges\":{},\"rates\":{}}\nnot json\n",
+    )
+    .unwrap();
+    let out = ssdtrace(&["live", tel.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    // Line 1's early final and line 2's garbage are both reportable;
+    // either way the error must carry a line number.
+    assert!(err.contains("line "), "{err}");
+}
+
+#[test]
+fn live_of_missing_stream_exits_2() {
+    let out = ssdtrace(&["live", "/no/such/telemetry.ndjson"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("/no/such/telemetry.ndjson"));
+}
+
+#[test]
+fn flame_ranks_and_reemits_folded() {
+    let folded = scratch("spans.folded");
+    std::fs::write(&folded, "main 1000\nmain;work 900\nmain;work 100\n").unwrap();
+    let out = ssdtrace(&["flame", folded.to_str().unwrap(), "--top", "1"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("main;work"), "{text}");
+    let re = ssdtrace(&["flame", folded.to_str().unwrap(), "--folded"]);
+    assert_eq!(re.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&re.stdout),
+        "main 1000\nmain;work 1000\n"
+    );
+}
+
+#[test]
+fn flame_of_empty_input_exits_2() {
+    let folded = scratch("empty.folded");
+    std::fs::write(&folded, "").unwrap();
+    let out = ssdtrace(&["flame", folded.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("empty folded input"));
+}

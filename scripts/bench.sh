@@ -78,4 +78,24 @@ if [ -n "$prev" ]; then
         echo "bench: WARNING - regression vs previous report (warn-only;" \
             "set SSDKEEPER_BENCH_STRICT=1 to fail)" >&2
     fi
+
+    # Tracing-off throughput line: under strict mode, events/sec must
+    # also stay within 2% of the committed report — a tighter bar than
+    # the general threshold above, specifically so obs instrumentation
+    # left accidentally hot (or a broken const-fold of the disabled
+    # path) cannot hide inside the default 10% slack. Only
+    # *_events_per_sec regressions trip this; latency rows keep the
+    # general threshold.
+    if [ "${SSDKEEPER_BENCH_STRICT:-0}" != "0" ]; then
+        echo "==> strict tracing-off throughput check (2% on events_per_sec)"
+        tight="$(pwd)/target/bench_tight_diff.txt"
+        ./target/release/ssdtrace diff "$prev" "$json_path" \
+            --threshold 0.02 > "$tight" 2>&1 || true
+        if grep 'events_per_sec' "$tight" | grep -q 'REGRESSION'; then
+            echo "bench: FAIL - events_per_sec regressed past 2% with tracing off" >&2
+            grep 'events_per_sec' "$tight" | grep 'REGRESSION' >&2
+            exit 1
+        fi
+        echo "    events_per_sec within 2% of committed baseline"
+    fi
 fi

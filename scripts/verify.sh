@@ -127,6 +127,43 @@ if [ "$diff_rc" -ge 2 ]; then
 fi
 echo "    ssdtrace diff compared modeled vs measured (exit $diff_rc)"
 
+# Telemetry gate: rebuild the fleet binary with host tracing compiled
+# in (separate target dir so the default target/ fingerprints — and the
+# uninstrumented binaries every gate above measures — stay untouched),
+# stream a smoke run's counters and spans, and hold the obs layer to
+# its contract: every NDJSON line parses (ssdtrace live is strict), the
+# final snapshot's fleet.events_observed equals the merged event count
+# in the run's own JSON (exact — the counter is summed from the same
+# per-shard metrics; --replacements 0 so no shard is re-simulated), and
+# the folded spans parse and attribute real time. The span-name golden
+# test then pins *which* code paths are instrumented.
+echo "==> host-trace telemetry gate (fleet --smoke --telemetry)"
+cargo build --release --offline -p exp --features host-trace \
+    --target-dir target/host-trace
+tel_dir="$(pwd)/target/telemetry_verify"
+mkdir -p "$tel_dir"
+SSDKEEPER_TELEMETRY_MS=50 ./target/host-trace/release/fleet \
+    --smoke --seed 42 --replacements 0 --workers 2 --json \
+    --telemetry "$tel_dir/tel.ndjson" --spans "$tel_dir/spans.folded" \
+    > "$tel_dir/fleet.json" 2> "$tel_dir/fleet.log"
+./target/release/ssdtrace live "$tel_dir/tel.ndjson" > "$tel_dir/live.txt"
+sed 's/^/    /' "$tel_dir/live.txt" | head -2
+tel_events=$(./target/release/ssdtrace live "$tel_dir/tel.ndjson" \
+    --counter fleet.events_observed)
+json_events=$(grep -o '"events": *[0-9]*' "$tel_dir/fleet.json" \
+    | head -1 | grep -o '[0-9]*$')
+if [ -z "$tel_events" ] || [ "$tel_events" != "$json_events" ]; then
+    echo "verify: FAIL - telemetry fleet.events_observed ($tel_events) !=" \
+        "merged events ($json_events)" >&2
+    exit 1
+fi
+echo "    final fleet.events_observed matches merged events ($tel_events)"
+./target/release/ssdtrace flame "$tel_dir/spans.folded" --top 5 \
+    | sed 's/^/    /'
+echo "==> flame span-name golden (cargo test -p exp --features host-trace)"
+cargo test -q --offline -p exp --features host-trace --test flame_golden \
+    --target-dir target/host-trace
+
 # BENCH=1 additionally smokes the probe-overhead path: the sim_throughput
 # bench with a recorder attached (SSDKEEPER_BENCH_PROBE=1), a few fast
 # iterations, JSON routed to target/ so the tracked BENCH_sim.json keeps
