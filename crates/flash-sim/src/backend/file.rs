@@ -251,11 +251,11 @@ impl Backend for FileBackend {
             while next_realloc < self.reallocs.len()
                 && self.reallocs[next_realloc].at_ns <= req.arrival_ns
             {
-                let entries = std::mem::take(&mut self.reallocs[next_realloc].entries);
+                let realloc = &self.reallocs[next_realloc];
                 let at_ns = now_ns(&clock);
-                for (tenant, channels, policy) in entries {
+                for (tenant, channels, policy) in realloc.entries() {
                     let state = self.layout.tenant_mut(tenant);
-                    state.channels = ChannelSet::new(&channels, self.cfg.channels)
+                    state.channels = ChannelSet::new(channels, self.cfg.channels)
                         .expect("validated in schedule_reallocation");
                     if let Some(p) = policy {
                         state.policy = p;

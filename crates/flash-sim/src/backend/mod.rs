@@ -28,7 +28,7 @@ use std::path::PathBuf;
 
 use crate::probe::Probe;
 use crate::request::IoRequest;
-use crate::sim::{validate_reallocation, Reallocation, SimError, Simulator};
+use crate::sim::{validate_device, validate_reallocation, Reallocation, SimArena, SimError};
 use crate::stats::SimReport;
 use crate::SimBuilder;
 use crate::{SsdConfig, TenantLayout};
@@ -56,25 +56,35 @@ pub trait Backend {
         trace: &[IoRequest],
         probe: &mut dyn Probe,
     ) -> Result<SimReport, SimError>;
+
+    /// Like [`Backend::run`], but builds the engine out of (and reclaims
+    /// it back into) a caller-owned [`SimArena`]. The default simply
+    /// ignores the arena — backends whose run state is not arena-shaped
+    /// (e.g. real-I/O replay) keep their plain path — while
+    /// [`SimBackend`] overrides it to make repeated runs
+    /// warm-allocation-free.
+    fn run_with_arena(
+        self: Box<Self>,
+        trace: &[IoRequest],
+        probe: &mut dyn Probe,
+        _arena: &mut SimArena,
+    ) -> Result<SimReport, SimError> {
+        self.run(trace, probe)
+    }
 }
 
 /// Which backend a run should execute on. Parses from the CLI surface
 /// `sim` / `file:<path>` shared by the `exp` binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum BackendKind {
     /// Simulated timing (the default).
+    #[default]
     Sim,
     /// Real I/O against a file or raw device at `path`.
     File {
         /// Target file or device the replay reads/writes.
         path: PathBuf,
     },
-}
-
-impl Default for BackendKind {
-    fn default() -> Self {
-        BackendKind::Sim
-    }
 }
 
 impl std::fmt::Display for BackendKind {
@@ -128,8 +138,9 @@ impl SimBackend {
         cmd_slot_limit: Option<u32>,
     ) -> Result<Self, SimError> {
         // Same validation surface as SimBuilder::build, minus the probe:
-        // a throwaway build catches config/capacity errors eagerly.
-        Simulator::new(cfg.clone(), layout.clone())?;
+        // config and capacity are checked eagerly without paying for a
+        // throwaway engine build.
+        validate_device(&cfg, &layout)?;
         Ok(Self {
             cfg,
             layout,
@@ -165,11 +176,20 @@ impl Backend for SimBackend {
         trace: &[IoRequest],
         probe: &mut dyn Probe,
     ) -> Result<SimReport, SimError> {
+        self.run_with_arena(trace, probe, &mut SimArena::new())
+    }
+
+    fn run_with_arena(
+        self: Box<Self>,
+        trace: &[IoRequest],
+        probe: &mut dyn Probe,
+        arena: &mut SimArena,
+    ) -> Result<SimReport, SimError> {
         // `&mut dyn Probe` is itself a Probe (forwarding impl), so this
         // monomorphizes to exactly the engine the keeper always ran —
         // golden digests and SSDP captures stay byte-identical.
         obs::span!("backend_sim");
-        let mut sim = Simulator::with_probe(self.cfg, self.layout, probe)?;
+        let mut sim = crate::Simulator::with_probe_arena(self.cfg, self.layout, probe, arena)?;
         if let Some(limit) = self.cmd_slot_limit {
             sim.set_cmd_slot_limit(limit);
         }
@@ -179,7 +199,7 @@ impl Backend for SimBackend {
         for r in self.reallocs {
             sim.schedule_reallocation(r)?;
         }
-        sim.run(trace)
+        sim.run_reclaim(trace, arena)
     }
 }
 

@@ -180,6 +180,29 @@ impl EventQueue {
         q
     }
 
+    /// Restores the freshly-constructed state while keeping the node
+    /// arena, ready buffer, and overflow list allocations, so a recycled
+    /// queue (see [`crate::SimArena`]) starts its next run without
+    /// touching the allocator.
+    pub fn reset(&mut self) {
+        self.now = 0;
+        self.ready.clear();
+        self.ready_dirty = false;
+        self.nodes.clear();
+        self.free_head = NIL;
+        for level in self.heads.iter_mut() {
+            level.fill(NIL);
+        }
+        for level in self.tails.iter_mut() {
+            level.fill(NIL);
+        }
+        self.occupied = [0; LEVELS];
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.len = 0;
+        self.next_seq = 0;
+    }
+
     /// Takes a recycled (or fresh) arena node for `ev`.
     #[inline]
     fn alloc(&mut self, ev: Event) -> u32 {

@@ -31,6 +31,21 @@ impl TenantMap {
         }
     }
 
+    /// Clears every mapping and re-sizes the table to `lpn_space`,
+    /// reusing the existing allocation when it is already large enough —
+    /// equivalent to `*self = TenantMap::new(lpn_space)` without the 4
+    /// MB/tenant reallocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn_space` is zero.
+    pub fn reset(&mut self, lpn_space: u64) {
+        assert!(lpn_space > 0, "tenant logical space must be non-empty");
+        self.table.clear();
+        self.table.resize(lpn_space as usize, UNMAPPED);
+        self.mapped = 0;
+    }
+
     /// Size of the logical space.
     pub fn lpn_space(&self) -> u64 {
         self.table.len() as u64

@@ -213,6 +213,31 @@ impl PlaneState {
     pub(crate) fn erase_spread(&self) -> u32 {
         self.max_erase - self.min_erase
     }
+
+    /// Restores the factory-fresh [`PlaneState::new`] state in place,
+    /// keeping the block, free-list, victim-bucket, and histogram
+    /// allocations. The plane's shape (block count, pages per block) must
+    /// be unchanged — [`Ftl::reset`] guarantees it via the geometry check.
+    fn reset(&mut self) {
+        let blocks_per_plane = self.blocks.len();
+        for b in &mut self.blocks {
+            b.next_page = 0;
+            b.valid_count = 0;
+            b.erase_count = 0;
+            b.pages.fill(PageState::Free);
+        }
+        self.active_block = None;
+        self.free_blocks.clear();
+        self.free_blocks.extend((0..blocks_per_plane).rev());
+        self.free_pages = (blocks_per_plane * self.bucket_pages_per_block()) as u64;
+        for bucket in &mut self.full_blocks {
+            bucket.clear();
+        }
+        self.erase_hist.clear();
+        self.erase_hist.push(blocks_per_plane as u32);
+        self.min_erase = 0;
+        self.max_erase = 0;
+    }
 }
 
 /// Outcome of a logical page write.
@@ -318,6 +343,41 @@ impl Ftl {
             stats: FtlStats::default(),
             gc_scratch: Vec::new(),
         }
+    }
+
+    /// Resets the FTL in place to the state [`Ftl::new`] would produce
+    /// for `(cfg, layout)`, keeping every allocation — mapping tables,
+    /// plane/block state, victim buckets — provided the device dimensions
+    /// match the ones this FTL was built with. Returns `false` (leaving
+    /// the instance valid for its old shape) when the dimensions differ
+    /// and the caller must build fresh.
+    pub(crate) fn reset(&mut self, cfg: &SsdConfig, layout: &TenantLayout) -> bool {
+        if !self.geo.matches(cfg) {
+            return false;
+        }
+        // Same dimensions, but the non-dimensional knobs may differ.
+        self.pages_per_block = cfg.pages_per_block;
+        self.gc_trigger_blocks =
+            ((cfg.blocks_per_plane as f64 * cfg.gc_free_block_threshold).ceil() as usize).max(2);
+        self.wear_leveling_threshold = cfg.wear_leveling_threshold;
+        self.read_ns = cfg.read_latency_ns;
+        self.write_ns = cfg.write_latency_ns;
+        self.erase_ns = cfg.erase_latency_ns;
+        for plane in &mut self.planes {
+            plane.reset();
+        }
+        let old = self.maps.len();
+        for (i, t) in layout.iter().enumerate() {
+            if i < old {
+                self.maps[i].reset(t.lpn_space);
+            } else {
+                self.maps.push(TenantMap::new(t.lpn_space));
+            }
+        }
+        self.maps.truncate(layout.tenant_count());
+        self.stats = FtlStats::default();
+        self.gc_scratch.clear();
+        true
     }
 
     /// The geometry the FTL was built with.

@@ -30,17 +30,49 @@ impl WearSummary {
 }
 
 /// Computes the erase-count summary for the whole device.
+///
+/// Streams over the per-plane block tables twice (totals, then variance)
+/// instead of materialising a flat count vector, so repeated reporting —
+/// e.g. once per keeper window on a warm [`crate::SimArena`] — performs no
+/// heap allocation. The accumulation order matches the flattened
+/// plane-major order the old vector used, so the floating-point results
+/// are bit-identical.
 pub fn wear_summary(ftl: &Ftl) -> WearSummary {
     let geo = ftl.geometry();
-    let mut counts: Vec<u32> = Vec::with_capacity(geo.total_planes() * geo.blocks_per_plane());
+    let blocks = geo.total_planes() * geo.blocks_per_plane();
+    if blocks == 0 {
+        return WearSummary::default();
+    }
+    let mut total: u64 = 0;
+    let mut min = u32::MAX;
+    let mut max = 0u32;
     for plane in 0..geo.total_planes() {
         for block in &ftl.plane_ref(plane).blocks {
-            counts.push(block.erase_count);
+            let c = block.erase_count;
+            total += c as u64;
+            min = min.min(c);
+            max = max.max(c);
         }
     }
-    summarize(&counts)
+    let mean = total as f64 / blocks as f64;
+    let mut sq_sum = 0.0f64;
+    for plane in 0..geo.total_planes() {
+        for block in &ftl.plane_ref(plane).blocks {
+            let d = block.erase_count as f64 - mean;
+            sq_sum += d * d;
+        }
+    }
+    WearSummary {
+        total_erases: total,
+        min,
+        max,
+        mean,
+        std_dev: (sq_sum / blocks as f64).sqrt(),
+    }
 }
 
+/// Summarises an explicit slice of erase counts (test/diagnostic helper).
+#[cfg_attr(not(test), allow(dead_code))]
 fn summarize(counts: &[u32]) -> WearSummary {
     if counts.is_empty() {
         return WearSummary {

@@ -134,6 +134,18 @@ impl Geometry {
         geo
     }
 
+    /// Whether this geometry was built from a configuration with the same
+    /// six dimensions — everything [`Geometry::new`] derives its tables
+    /// from, so a match means the instance can be reused verbatim.
+    pub(crate) fn matches(&self, cfg: &SsdConfig) -> bool {
+        self.channels == cfg.channels
+            && self.chips_per_channel == cfg.chips_per_channel
+            && self.dies_per_chip == cfg.dies_per_chip
+            && self.planes_per_die == cfg.planes_per_die
+            && self.blocks_per_plane == cfg.blocks_per_plane
+            && self.pages_per_block == cfg.pages_per_block
+    }
+
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.channels
@@ -440,7 +452,7 @@ mod tests {
         for &d in &divisors {
             let m = MagicU32::new(d);
             let d32 = d as u32;
-            let mut check = |n: u32| {
+            let check = |n: u32| {
                 assert_eq!(m.div(n), n / d32, "div {n} / {d}");
                 assert_eq!(m.divmod(n), (n / d32, n % d32), "divmod {n} / {d}");
             };

@@ -62,6 +62,6 @@ pub use geometry::{Geometry, PhysAddr};
 pub use metrics::{MetricsProbe, MetricsSummary};
 pub use probe::{replay, EventRecorder, NullProbe, Probe, ProbeEvent, Tee};
 pub use request::{IoRequest, Op};
-pub use sim::{validate_trace, Reallocation, SimBuilder, SimError, Simulator};
+pub use sim::{validate_trace, Reallocation, SimArena, SimBuilder, SimError, Simulator};
 pub use stats::{LatencyStats, PhaseHist, PhaseReport, SimReport, TenantReport};
 pub use tenant::{ChannelSet, TenantLayout};

@@ -1026,7 +1026,7 @@ mod tests {
     fn forwarding_impl_reaches_the_recorder() {
         let mut rec = EventRecorder::with_capacity(4);
         {
-            let mut fwd: &mut dyn Probe = &mut rec;
+            let fwd: &mut dyn Probe = &mut rec;
             fwd.on_bus_acquire(&BusAcquire {
                 at_ns: 5,
                 cmd: 2,

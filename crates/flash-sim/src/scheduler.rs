@@ -115,6 +115,15 @@ impl PriorityQueue {
         cmd
     }
 
+    /// Empties the queue and rewinds the sequence and bypass counters to
+    /// the freshly-constructed state, keeping both deque allocations.
+    pub fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.next_seq = 0;
+        self.bypass = 0;
+    }
+
     /// Total queued commands.
     pub fn len(&self) -> usize {
         self.reads.len() + self.writes.len()
@@ -139,6 +148,16 @@ pub struct DieSched {
     pub backlog: u32,
 }
 
+impl DieSched {
+    /// Restores the idle freshly-constructed state, keeping the queue
+    /// allocations.
+    pub fn reset(&mut self) {
+        self.busy = false;
+        self.queue.reset();
+        self.backlog = 0;
+    }
+}
+
 /// Scheduling state of one channel bus.
 #[derive(Debug, Clone, Default)]
 pub struct BusSched {
@@ -146,6 +165,15 @@ pub struct BusSched {
     pub busy: bool,
     /// Commands (holding their units) waiting for the bus.
     pub queue: PriorityQueue,
+}
+
+impl BusSched {
+    /// Restores the idle freshly-constructed state, keeping the queue
+    /// allocations.
+    pub fn reset(&mut self) {
+        self.busy = false;
+        self.queue.reset();
+    }
 }
 
 #[cfg(test)]

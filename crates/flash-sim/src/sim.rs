@@ -61,23 +61,122 @@ enum Phase {
     GcExec,
 }
 
+/// Hot per-command state: the fields every dispatch touches. Packed to
+/// 8 bytes so eight in-flight commands share a cache line.
 #[derive(Debug, Clone, Copy)]
-struct Cmd {
-    req: ReqId,
-    /// Tenant served; GC commands carry the triggering write's tenant.
-    tenant: u16,
-    class: CmdClass,
+struct CmdMeta {
     /// Array-execution unit index (plane or die, per
     /// `SsdConfig::plane_parallelism`).
     unit: u32,
     channel: u16,
+    class: CmdClass,
     phase: Phase,
-    /// Composite duration for GC commands, 0 otherwise.
-    gc_duration_ns: u64,
+}
+
+/// Hot per-command timestamps, split from [`CmdMeta`] so phase dispatch
+/// that needs no times keeps the meta array dense.
+#[derive(Debug, Clone, Copy)]
+struct CmdTimes {
     /// When the command entered its unit queue.
     t_spawn: u64,
     /// Start of the current phase (for breakdown accounting).
     t_mark: u64,
+}
+
+/// Cold per-command fields: written at spawn, read at completion and in
+/// the GC branches — never by the per-event dispatch itself.
+#[derive(Debug, Clone, Copy)]
+struct CmdCold {
+    req: ReqId,
+    /// Tenant served; GC commands carry the triggering write's tenant.
+    tenant: u16,
+    /// Composite duration for GC commands, 0 otherwise.
+    gc_duration_ns: u64,
+}
+
+/// Struct-of-arrays command arena with slot recycling.
+///
+/// Splitting hot (`meta`, `times`) from cold (`cold`) fields keeps the
+/// cache lines the event loop streams through free of bytes it never
+/// reads per event; recycling keeps all three arrays at the peak
+/// in-flight depth instead of growing with the trace.
+#[derive(Debug)]
+struct CmdArena {
+    meta: Vec<CmdMeta>,
+    times: Vec<CmdTimes>,
+    cold: Vec<CmdCold>,
+    /// Slots of retired commands, reused by [`CmdArena::alloc`]. Recycling
+    /// ids is safe because every scheduler queue orders by its own
+    /// insertion sequence, never by `CmdId` value.
+    free_slots: Vec<CmdId>,
+    /// Upper bound on arena slots (defaults to the full id space; tests
+    /// shrink it to force exhaustion).
+    slot_limit: CmdId,
+}
+
+impl Default for CmdArena {
+    fn default() -> Self {
+        Self {
+            meta: Vec::new(),
+            times: Vec::new(),
+            cold: Vec::new(),
+            free_slots: Vec::new(),
+            slot_limit: CmdId::MAX,
+        }
+    }
+}
+
+impl CmdArena {
+    /// Places a command in a recycled (or fresh) slot; a depth beyond
+    /// `slot_limit` is a checked error.
+    #[inline]
+    fn alloc(&mut self, meta: CmdMeta, times: CmdTimes, cold: CmdCold) -> Result<CmdId, SimError> {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.meta[slot as usize] = meta;
+                self.times[slot as usize] = times;
+                self.cold[slot as usize] = cold;
+                Ok(slot)
+            }
+            None => {
+                if self.meta.len() >= self.slot_limit as usize {
+                    return Err(SimError::CmdIdsExhausted {
+                        limit: self.slot_limit,
+                    });
+                }
+                let id = self.meta.len() as CmdId;
+                self.meta.push(meta);
+                self.times.push(times);
+                self.cold.push(cold);
+                // The free list holds at most one entry per slot; growing
+                // it alongside the slot arrays keeps `free` itself
+                // allocation-free, so retiring commands in the
+                // steady-state loop never touches the heap.
+                if self.free_slots.capacity() < self.meta.len() {
+                    let need = self.meta.len() - self.free_slots.len();
+                    self.free_slots.reserve(need);
+                }
+                Ok(id)
+            }
+        }
+    }
+
+    /// Returns a finished command's slot to the free list. Must only be
+    /// called once per command, after its last use of the slot.
+    #[inline]
+    fn free(&mut self, id: CmdId) {
+        self.free_slots.push(id);
+    }
+
+    /// Empties the arena (keeping array capacity) and lifts any
+    /// test-imposed slot limit.
+    fn reset(&mut self) {
+        self.meta.clear();
+        self.times.clear();
+        self.cold.clear();
+        self.free_slots.clear();
+        self.slot_limit = CmdId::MAX;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -88,14 +187,80 @@ struct ReqState {
     op: Op,
 }
 
+/// One per-tenant row of a [`Reallocation`]: the channel list lives as a
+/// `(start, len)` span into the reallocation's flat channel table, so a
+/// schedule of N entries is two allocations, not N+1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReallocEntry {
+    tenant: u32,
+    /// Start of this entry's channel span in `Reallocation::channels`.
+    start: u32,
+    /// Length of the channel span.
+    len: u32,
+    policy: Option<PageAllocPolicy>,
+}
+
 /// One pending layout change.
-#[derive(Debug, Clone)]
+///
+/// Construct with [`Reallocation::new`]; entries are stored as spans over
+/// one flat channel table (see [`ReallocEntry`]) and read back through
+/// [`Reallocation::entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reallocation {
     /// Simulated time at which the change applies.
     pub at_ns: u64,
-    /// Per-tenant new channel lists and optional policy changes, as
-    /// `(tenant index, channels, policy)`.
-    pub entries: Vec<(usize, Vec<usize>, Option<PageAllocPolicy>)>,
+    entries: Vec<ReallocEntry>,
+    /// Concatenated channel lists of all entries, addressed by the spans.
+    channels: Vec<usize>,
+}
+
+impl Reallocation {
+    /// Builds a reallocation applying at `at_ns` from `(tenant index,
+    /// channels, policy)` rows, flattening the per-row channel lists into
+    /// one table.
+    pub fn new<C>(
+        at_ns: u64,
+        rows: impl IntoIterator<Item = (usize, C, Option<PageAllocPolicy>)>,
+    ) -> Self
+    where
+        C: AsRef<[usize]>,
+    {
+        let mut entries = Vec::new();
+        let mut channels = Vec::new();
+        for (tenant, list, policy) in rows {
+            let list = list.as_ref();
+            let start = channels.len() as u32;
+            channels.extend_from_slice(list);
+            entries.push(ReallocEntry {
+                tenant: tenant as u32,
+                start,
+                len: list.len() as u32,
+                policy,
+            });
+        }
+        Self {
+            at_ns,
+            entries,
+            channels,
+        }
+    }
+
+    /// Number of per-tenant rows.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates the `(tenant index, channels, policy)` rows in the order
+    /// they were given to [`Reallocation::new`].
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &[usize], Option<PageAllocPolicy>)> + '_ {
+        self.entries.iter().map(move |e| {
+            (
+                e.tenant as usize,
+                &self.channels[e.start as usize..(e.start + e.len) as usize],
+                e.policy,
+            )
+        })
+    }
 }
 
 /// Errors surfaced by [`Simulator`].
@@ -237,6 +402,17 @@ pub fn validate_trace(trace: &[IoRequest], tenant_count: usize) -> Result<(), Si
     Ok(())
 }
 
+/// Validates a device description (config + tenant layout) without
+/// building a [`Simulator`]: runs the config checks, derives the
+/// geometry, and verifies the layout's logical capacity fits. Used by
+/// backends that need up-front validation but defer engine construction
+/// (e.g. [`crate::backend::SimBackend::new`]).
+pub(crate) fn validate_device(cfg: &SsdConfig, layout: &TenantLayout) -> Result<(), SimError> {
+    cfg.validate()?;
+    let geo = Geometry::new(cfg);
+    check_capacity(cfg, &geo, layout, &mut Vec::new())
+}
+
 /// Validates one scheduled reallocation against the registration rules
 /// every backend enforces: non-decreasing application times, tenants
 /// within the layout, constructible channel sets.
@@ -256,8 +432,8 @@ pub(crate) fn validate_reallocation(
             });
         }
     }
-    for (tenant, list, _) in &realloc.entries {
-        if *tenant >= tenant_count {
+    for (tenant, list, _) in realloc.entries() {
+        if tenant >= tenant_count {
             return Err(SimError::BadReallocation {
                 reason: format!("tenant {tenant} out of range"),
             });
@@ -291,15 +467,7 @@ pub struct Simulator<P: Probe = NullProbe> {
     units: Vec<DieSched>,
     buses: Vec<BusSched>,
     events: EventQueue,
-    cmds: Vec<Cmd>,
-    /// Arena slots of retired commands, reused by `spawn_cmd` so `cmds`
-    /// plateaus at the peak in-flight depth instead of growing with the
-    /// trace. Recycling ids is safe because every scheduler queue orders
-    /// by its own insertion sequence, never by `CmdId` value.
-    free_cmd_slots: Vec<CmdId>,
-    /// Upper bound on arena slots (defaults to the full id space; tests
-    /// shrink it to force exhaustion).
-    cmd_slot_limit: CmdId,
+    cmds: CmdArena,
     reqs: Vec<ReqState>,
     realloc: Vec<Reallocation>,
     next_realloc: usize,
@@ -318,8 +486,14 @@ pub struct Simulator<P: Probe = NullProbe> {
     bus_busy_ns: Vec<u64>,
     /// Per-tenant requests currently dispatched to the device.
     in_flight: Vec<u32>,
-    /// Per-tenant host-side FIFO of requests awaiting a queue slot.
-    host_queues: Vec<std::collections::VecDeque<ReqId>>,
+    /// Intrusive singly-linked successor table backing the per-tenant
+    /// host-side FIFOs: one slot per trace request, `NO_REQ` terminated.
+    /// Replaces a `VecDeque` per tenant with one flat buffer.
+    host_next: Vec<ReqId>,
+    /// Head of each tenant's host-side FIFO (`NO_REQ` when empty).
+    hq_head: Vec<ReqId>,
+    /// Tail of each tenant's host-side FIFO (`NO_REQ` when empty).
+    hq_tail: Vec<ReqId>,
     read_breakdown: LatencyBreakdown,
     write_breakdown: LatencyBreakdown,
     gc_busy_ns: u64,
@@ -408,14 +582,158 @@ impl<P: Probe> SimBuilder<P> {
 
     /// Validates and constructs the simulator.
     pub fn build(self) -> Result<Simulator<P>, SimError> {
-        let mut sim = Simulator::with_probe(self.cfg, self.layout, self.probe)?;
+        self.build_with_arena(&mut SimArena::new())
+    }
+
+    /// [`SimBuilder::build`] drawing every run-path buffer from `arena`:
+    /// buffers recycled from a previous run (see
+    /// [`Simulator::run_reclaim`]) are reset in place instead of
+    /// reallocated, so warm rebuilds allocate nothing.
+    pub fn build_with_arena(self, arena: &mut SimArena) -> Result<Simulator<P>, SimError> {
+        let mut sim = Simulator::with_probe_arena(self.cfg, self.layout, self.probe, arena)?;
         if let Some(limit) = self.cmd_slot_limit {
-            sim.cmd_slot_limit = limit;
+            sim.cmds.slot_limit = limit;
         }
         if !self.fill_fractions.is_empty() {
             sim.precondition(&self.fill_fractions)?;
         }
         Ok(sim)
+    }
+}
+
+/// Recyclable allocation pool for repeated [`Simulator`] runs.
+///
+/// A cold [`SimBuilder::build`] allocates the FTL mapping tables, the
+/// command arena, the timer wheel, and every queue from scratch;
+/// [`SimBuilder::build_with_arena`] instead resets buffers reclaimed from
+/// a previous run ([`Simulator::run_reclaim`]) in place, so a warm
+/// build + run performs zero heap allocations when the device shape is
+/// unchanged (a changed shape transparently rebuilds what no longer
+/// fits). Reports can be recycled too via [`SimArena::recycle_report`].
+///
+/// Reuse never changes results: a simulator built from a used arena is
+/// observationally identical to a fresh one — same report, same probe
+/// stream, byte for byte.
+///
+/// ```
+/// # use flash_sim::{SimArena, SimBuilder, SsdConfig, TenantLayout};
+/// let cfg = SsdConfig::small_test();
+/// let mk_layout = || TenantLayout::shared(1, &cfg).with_lpn_space_all(64);
+/// let mut arena = SimArena::new();
+/// for _ in 0..3 {
+///     let sim = SimBuilder::new(cfg.clone(), mk_layout())
+///         .build_with_arena(&mut arena)
+///         .unwrap();
+///     let report = sim.run_reclaim(&[], &mut arena).unwrap();
+///     arena.recycle_report(report);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
+    parts: ArenaParts,
+    /// Per-tenant report buffer salvaged by [`SimArena::recycle_report`].
+    spare_tenants: Vec<TenantReport>,
+    /// Per-channel busy-time buffer salvaged by
+    /// [`SimArena::recycle_report`].
+    spare_bus_busy: Vec<u64>,
+}
+
+/// The simulator's run-path buffers between runs. Every field mirrors a
+/// [`Simulator`] field (or build-time scratch) and is reset — never
+/// reallocated — when the next build draws from it.
+#[derive(Debug, Default)]
+struct ArenaParts {
+    geo: Option<Geometry>,
+    ftl: Option<Ftl>,
+    units: Vec<DieSched>,
+    buses: Vec<BusSched>,
+    // Behind Option so taking it out leaves `None` rather than a default
+    // queue — `EventQueue::default()` heap-allocates its wheel head/tail
+    // arrays, which would break the zero-warm-allocation contract.
+    events: Option<EventQueue>,
+    cmds: CmdArena,
+    reqs: Vec<ReqState>,
+    realloc: Vec<Reallocation>,
+    backlog_scratch: Vec<u32>,
+    in_flight: Vec<u32>,
+    host_next: Vec<ReqId>,
+    hq_head: Vec<ReqId>,
+    hq_tail: Vec<ReqId>,
+    phases: Option<Box<PhaseReport>>,
+    /// Build-time scratch for [`check_capacity`]'s per-plane demand.
+    capacity_scratch: Vec<u64>,
+}
+
+impl SimArena {
+    /// Creates an empty arena; the first build from it is a cold build.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Salvages a finished report's heap buffers for the next run, so
+    /// repeated build/run/report cycles reach a steady state with no
+    /// allocation at all. Keeps whichever buffers have the most capacity.
+    pub fn recycle_report(&mut self, report: SimReport) {
+        let SimReport {
+            mut tenants,
+            mut bus_busy_ns,
+            ..
+        } = report;
+        tenants.clear();
+        if tenants.capacity() > self.spare_tenants.capacity() {
+            self.spare_tenants = tenants;
+        }
+        bus_busy_ns.clear();
+        if bus_busy_ns.capacity() > self.spare_bus_busy.capacity() {
+            self.spare_bus_busy = bus_busy_ns;
+        }
+    }
+
+    /// Takes a finished simulator's buffers back into the arena.
+    fn reclaim<P: Probe>(&mut self, sim: Simulator<P>) {
+        let Simulator {
+            geo,
+            ftl,
+            units,
+            buses,
+            events,
+            cmds,
+            reqs,
+            realloc,
+            mut tenants,
+            backlog_scratch,
+            mut bus_busy_ns,
+            in_flight,
+            host_next,
+            hq_head,
+            hq_tail,
+            phases,
+            ..
+        } = sim;
+        self.parts.geo = Some(geo);
+        self.parts.ftl = Some(ftl);
+        self.parts.units = units;
+        self.parts.buses = buses;
+        self.parts.events = Some(events);
+        self.parts.cmds = cmds;
+        self.parts.reqs = reqs;
+        self.parts.realloc = realloc;
+        self.parts.backlog_scratch = backlog_scratch;
+        self.parts.in_flight = in_flight;
+        self.parts.host_next = host_next;
+        self.parts.hq_head = hq_head;
+        self.parts.hq_tail = hq_tail;
+        self.parts.phases = Some(phases);
+        // The report build stole these via mem::take when the run
+        // completed; after an error they still hold capacity worth keeping.
+        tenants.clear();
+        if tenants.capacity() > self.spare_tenants.capacity() {
+            self.spare_tenants = tenants;
+        }
+        bus_busy_ns.clear();
+        if bus_busy_ns.capacity() > self.spare_bus_busy.capacity() {
+            self.spare_bus_busy = bus_busy_ns;
+        }
     }
 }
 
@@ -439,26 +757,102 @@ impl<P: Probe> Simulator<P> {
     /// Creates a simulator with an attached probe; see [`Simulator::new`]
     /// for the validation performed.
     pub fn with_probe(cfg: SsdConfig, layout: TenantLayout, probe: P) -> Result<Self, SimError> {
+        Self::with_probe_arena(cfg, layout, probe, &mut SimArena::new())
+    }
+
+    /// [`Simulator::with_probe`] drawing every run-path buffer from
+    /// `arena` (see [`SimArena`]). Buffers whose shape still matches the
+    /// configuration are reset in place; the rest are rebuilt.
+    pub fn with_probe_arena(
+        cfg: SsdConfig,
+        layout: TenantLayout,
+        probe: P,
+        arena: &mut SimArena,
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
-        let geo = Geometry::new(&cfg);
-        check_capacity(&cfg, &geo, &layout)?;
-        let ftl = Ftl::new(&cfg, &layout);
-        let tenants = vec![TenantReport::default(); layout.tenant_count()];
-        let transfer_ns = cfg.page_transfer_ns();
+        // Reuse the previous run's geometry when the dimensions match, so
+        // the warm path skips rebuilding its coordinate tables.
+        let geo = match arena.parts.geo.take() {
+            Some(g) if g.matches(&cfg) => g,
+            _ => Geometry::new(&cfg),
+        };
+        {
+            // Validation runs before any buffer leaves the arena, so an
+            // error here cannot strand its contents. The demand scratch
+            // stays inside the arena: it is build-time-only state.
+            let scratch = &mut arena.parts.capacity_scratch;
+            check_capacity(&cfg, &geo, &layout, scratch)?;
+        }
+        let p = &mut arena.parts;
+        let ftl = match p.ftl.take() {
+            Some(mut f) => {
+                if f.reset(&cfg, &layout) {
+                    f
+                } else {
+                    Ftl::new(&cfg, &layout)
+                }
+            }
+            None => Ftl::new(&cfg, &layout),
+        };
+        let tenant_count = layout.tenant_count();
         let unit_count = if cfg.plane_parallelism {
             geo.total_planes()
         } else {
             geo.total_dies()
         };
+        let mut units = std::mem::take(&mut p.units);
+        for d in &mut units {
+            d.reset();
+        }
+        units.resize_with(unit_count, DieSched::default);
+        let mut buses = std::mem::take(&mut p.buses);
+        for b in &mut buses {
+            b.reset();
+        }
+        buses.resize_with(geo.channels(), BusSched::default);
+        let events = match p.events.take() {
+            Some(mut e) => {
+                e.reset();
+                e
+            }
+            None => EventQueue::default(),
+        };
+        let mut cmds = std::mem::take(&mut p.cmds);
+        cmds.reset();
+        let mut reqs = std::mem::take(&mut p.reqs);
+        reqs.clear();
+        let mut realloc = std::mem::take(&mut p.realloc);
+        realloc.clear();
+        let mut backlog_scratch = std::mem::take(&mut p.backlog_scratch);
+        backlog_scratch.clear();
+        backlog_scratch.resize(geo.total_planes(), 0);
+        let mut in_flight = std::mem::take(&mut p.in_flight);
+        in_flight.clear();
+        in_flight.resize(tenant_count, 0);
+        let mut host_next = std::mem::take(&mut p.host_next);
+        host_next.clear();
+        let mut hq_head = std::mem::take(&mut p.hq_head);
+        hq_head.clear();
+        hq_head.resize(tenant_count, NO_REQ);
+        let mut hq_tail = std::mem::take(&mut p.hq_tail);
+        hq_tail.clear();
+        hq_tail.resize(tenant_count, NO_REQ);
+        let mut phases = p.phases.take().unwrap_or_default();
+        *phases = PhaseReport::default();
+        let mut tenants = std::mem::take(&mut arena.spare_tenants);
+        tenants.clear();
+        tenants.resize(tenant_count, TenantReport::default());
+        let mut bus_busy_ns = std::mem::take(&mut arena.spare_bus_busy);
+        bus_busy_ns.clear();
+        bus_busy_ns.resize(geo.channels(), 0);
+        let transfer_ns = cfg.page_transfer_ns();
         Ok(Self {
-            units: vec![DieSched::default(); unit_count],
-            buses: vec![BusSched::default(); geo.channels()],
-            events: EventQueue::new(),
-            cmds: Vec::new(),
-            free_cmd_slots: Vec::new(),
-            cmd_slot_limit: CmdId::MAX,
-            reqs: Vec::new(),
-            realloc: Vec::new(),
+            units,
+            buses,
+            events,
+            cmds,
+            reqs,
+            realloc,
             next_realloc: 0,
             next_realloc_at: u64::MAX,
             transfer_ns,
@@ -468,16 +862,16 @@ impl<P: Probe> Simulator<P> {
             total: LatencyStats::new(),
             makespan_ns: 0,
             events_processed: 0,
-            backlog_scratch: vec![0; geo.total_planes()],
-            bus_busy_ns: vec![0; geo.channels()],
-            in_flight: vec![0; layout.tenant_count()],
-            host_queues: (0..layout.tenant_count())
-                .map(|_| std::collections::VecDeque::with_capacity(cfg.host_queue_depth as usize))
-                .collect(),
+            backlog_scratch,
+            bus_busy_ns,
+            in_flight,
+            host_next,
+            hq_head,
+            hq_tail,
             read_breakdown: LatencyBreakdown::default(),
             write_breakdown: LatencyBreakdown::default(),
             gc_busy_ns: 0,
-            phases: Box::default(),
+            phases,
             probe,
             cfg,
             geo,
@@ -503,7 +897,7 @@ impl<P: Probe> Simulator<P> {
 
     /// Caps the command arena (see [`SimBuilder::cmd_slot_limit`]).
     pub(crate) fn set_cmd_slot_limit(&mut self, limit: u32) {
-        self.cmd_slot_limit = limit;
+        self.cmds.slot_limit = limit;
     }
 
     /// Preconditions the device: marks the first `fill_fraction` of each
@@ -533,6 +927,23 @@ impl<P: Probe> Simulator<P> {
     /// Requirements on the trace: sorted by `arrival_ns`, tenant ids within
     /// the layout, and `size_pages >= 1` everywhere.
     pub fn run(mut self, trace: &[IoRequest]) -> Result<SimReport, SimError> {
+        self.run_inner(trace)
+    }
+
+    /// [`Simulator::run`], then returns the simulator's buffers to
+    /// `arena` for the next [`SimBuilder::build_with_arena`]. Reclaims on
+    /// error exits too, so a failed run still recycles its allocations.
+    pub fn run_reclaim(
+        mut self,
+        trace: &[IoRequest],
+        arena: &mut SimArena,
+    ) -> Result<SimReport, SimError> {
+        let result = self.run_inner(trace);
+        arena.reclaim(self);
+        result
+    }
+
+    fn run_inner(&mut self, trace: &[IoRequest]) -> Result<SimReport, SimError> {
         // The top ReqId is the internal GC sentinel; request ids must stay
         // strictly below it.
         if trace.len() > NO_REQ as usize {
@@ -541,15 +952,16 @@ impl<P: Probe> Simulator<P> {
             });
         }
         self.validate_trace(trace)?;
-        self.reqs = trace
-            .iter()
-            .map(|r| ReqState {
-                arrival_ns: r.arrival_ns,
-                remaining: r.size_pages,
-                tenant: r.tenant,
-                op: r.op,
-            })
-            .collect();
+        self.reqs.clear();
+        self.reqs.extend(trace.iter().map(|r| ReqState {
+            arrival_ns: r.arrival_ns,
+            remaining: r.size_pages,
+            tenant: r.tenant,
+            op: r.op,
+        }));
+        // One FIFO-successor slot per request (see `host_next`).
+        self.host_next.clear();
+        self.host_next.resize(trace.len(), NO_REQ);
         self.next_realloc_at = self.realloc.first().map_or(u64::MAX, |r| r.at_ns);
 
         // Arrivals are never heaped: the validated-sorted trace is its own
@@ -613,7 +1025,7 @@ impl<P: Probe> Simulator<P> {
                     let tenant = trace[r as usize].tenant as usize;
                     let qd = self.cfg.host_queue_depth;
                     if qd > 0 && self.in_flight[tenant] >= qd {
-                        self.host_queues[tenant].push_back(r);
+                        self.host_enqueue(tenant, r);
                     } else {
                         self.in_flight[tenant] += 1;
                         self.on_arrive(r, trace, time)?;
@@ -660,13 +1072,14 @@ impl<P: Probe> Simulator<P> {
     fn apply_reallocations(&mut self, now: u64) {
         while self.next_realloc < self.realloc.len() && self.realloc[self.next_realloc].at_ns <= now
         {
-            // Entries are applied exactly once, so taking them out of the
-            // schedule avoids cloning the channel lists on application.
-            let at_ns = self.realloc[self.next_realloc].at_ns;
-            let entries = std::mem::take(&mut self.realloc[self.next_realloc].entries);
-            for (tenant, channels, policy) in entries {
+            // The flat span table is read in place — applying an entry
+            // only copies channel indices into the tenant's ChannelSet,
+            // never clones a per-entry list.
+            let realloc = &self.realloc[self.next_realloc];
+            let at_ns = realloc.at_ns;
+            for (tenant, channels, policy) in realloc.entries() {
                 let state = self.layout.tenant_mut(tenant);
-                state.channels = ChannelSet::new(&channels, self.cfg.channels)
+                state.channels = ChannelSet::new(channels, self.cfg.channels)
                     .expect("validated in schedule_reallocation");
                 if let Some(p) = policy {
                     state.policy = p;
@@ -821,33 +1234,23 @@ impl<P: Probe> Simulator<P> {
         now: u64,
     ) -> Result<(), SimError> {
         obs::counter_add!("sim.cmds_issued", 1u64);
-        let cmd = Cmd {
-            req,
-            tenant,
-            class,
-            unit,
-            channel,
-            phase: initial_phase,
-            gc_duration_ns,
-            t_spawn: now,
-            t_mark: now,
-        };
-        let id = match self.free_cmd_slots.pop() {
-            Some(slot) => {
-                self.cmds[slot as usize] = cmd;
-                slot
-            }
-            None => {
-                if self.cmds.len() >= self.cmd_slot_limit as usize {
-                    return Err(SimError::CmdIdsExhausted {
-                        limit: self.cmd_slot_limit,
-                    });
-                }
-                let id = self.cmds.len() as CmdId;
-                self.cmds.push(cmd);
-                id
-            }
-        };
+        let id = self.cmds.alloc(
+            CmdMeta {
+                unit,
+                channel,
+                class,
+                phase: initial_phase,
+            },
+            CmdTimes {
+                t_spawn: now,
+                t_mark: now,
+            },
+            CmdCold {
+                req,
+                tenant,
+                gc_duration_ns,
+            },
+        )?;
         let d = &mut self.units[unit as usize];
         d.backlog += 1;
         // Uncontended fast path: an idle unit with an empty queue starts
@@ -880,19 +1283,12 @@ impl<P: Probe> Simulator<P> {
         Ok(())
     }
 
-    /// Returns a finished command's arena slot to the free list. Must only
-    /// be called once per command, after its last use of `self.cmds[id]`.
-    #[inline]
-    fn retire_cmd(&mut self, cmd_id: CmdId) {
-        self.free_cmd_slots.push(cmd_id);
-    }
-
     /// Caps the command arena at `limit` slots (test hook for exercising
     /// [`SimError::CmdIdsExhausted`] without 2^32 live commands).
     #[doc(hidden)]
     #[deprecated(note = "use SimBuilder::cmd_slot_limit")]
     pub fn limit_cmd_slots(&mut self, limit: u32) {
-        self.cmd_slot_limit = limit;
+        self.cmds.slot_limit = limit;
     }
 
     /// If the unit is idle, pops its next command and starts its first
@@ -913,29 +1309,32 @@ impl<P: Probe> Simulator<P> {
     #[inline]
     fn start_die_cmd(&mut self, unit: usize, cmd_id: CmdId, now: u64) {
         self.units[unit].busy = true;
-        // Close the unit-queue phase and open the next one.
-        let (class, is_gc, waited) = {
-            let cmd = &mut self.cmds[cmd_id as usize];
-            let waited = now - cmd.t_spawn;
-            cmd.t_mark = now;
-            (cmd.class, cmd.req == NO_REQ, waited)
+        // Close the unit-queue phase and open the next one. GC commands
+        // are identified by phase alone — they spawn in `GcExec` and never
+        // leave it — so the dispatch below stays off the cold table except
+        // for the GC duration itself.
+        let meta = self.cmds.meta[cmd_id as usize];
+        let waited = {
+            let t = &mut self.cmds.times[cmd_id as usize];
+            let waited = now - t.t_spawn;
+            t.t_mark = now;
+            waited
         };
-        if !is_gc {
-            self.breakdown_mut(class).wait_unit_ns += waited;
-            self.phases.wait_unit.record(waited);
-        }
-        let cmd = self.cmds[cmd_id as usize];
-        match cmd.phase {
+        match meta.phase {
             Phase::ArrayRead => {
+                self.breakdown_mut(meta.class).wait_unit_ns += waited;
+                self.phases.wait_unit.record(waited);
                 self.events
                     .push(now + self.cfg.read_latency_ns, EventKind::DieOpDone(cmd_id));
             }
             Phase::WaitBusWrite => {
+                self.breakdown_mut(meta.class).wait_unit_ns += waited;
+                self.phases.wait_unit.record(waited);
                 self.request_bus(cmd_id, now);
             }
             Phase::GcExec => {
-                self.events
-                    .push(now + cmd.gc_duration_ns, EventKind::DieOpDone(cmd_id));
+                let gc_ns = self.cmds.cold[cmd_id as usize].gc_duration_ns;
+                self.events.push(now + gc_ns, EventKind::DieOpDone(cmd_id));
             }
             other => unreachable!("command started on die in phase {other:?}"),
         }
@@ -952,10 +1351,10 @@ impl<P: Probe> Simulator<P> {
     /// Requests the channel bus for a command that holds its die; starts
     /// the transfer immediately when the bus is idle, otherwise queues.
     fn request_bus(&mut self, cmd_id: CmdId, now: u64) {
-        let cmd = self.cmds[cmd_id as usize];
-        let bus = &mut self.buses[cmd.channel as usize];
+        let meta = self.cmds.meta[cmd_id as usize];
+        let bus = &mut self.buses[meta.channel as usize];
         if bus.busy {
-            bus.queue.push(cmd_id, cmd.class);
+            bus.queue.push(cmd_id, meta.class);
         } else {
             bus.busy = true;
             self.start_transfer(cmd_id, now);
@@ -964,16 +1363,21 @@ impl<P: Probe> Simulator<P> {
 
     #[inline]
     fn start_transfer(&mut self, cmd_id: CmdId, now: u64) {
-        let cmd = &mut self.cmds[cmd_id as usize];
-        cmd.phase = match cmd.phase {
-            Phase::WaitBusRead | Phase::ArrayRead => Phase::XferRead,
-            Phase::WaitBusWrite => Phase::XferWrite,
-            other => unreachable!("transfer started in phase {other:?}"),
+        let (class, channel) = {
+            let meta = &mut self.cmds.meta[cmd_id as usize];
+            meta.phase = match meta.phase {
+                Phase::WaitBusRead | Phase::ArrayRead => Phase::XferRead,
+                Phase::WaitBusWrite => Phase::XferWrite,
+                other => unreachable!("transfer started in phase {other:?}"),
+            };
+            (meta.class, meta.channel)
         };
-        let waited_for_bus = now - cmd.t_mark;
-        cmd.t_mark = now;
-        let class = cmd.class;
-        let channel = cmd.channel;
+        let waited_for_bus = {
+            let t = &mut self.cmds.times[cmd_id as usize];
+            let waited = now - t.t_mark;
+            t.t_mark = now;
+            waited
+        };
         self.bus_busy_ns[channel as usize] += self.transfer_ns;
         {
             let transfer_ns = self.transfer_ns;
@@ -997,38 +1401,39 @@ impl<P: Probe> Simulator<P> {
     #[inline]
     fn on_die_done(&mut self, cmd_id: CmdId, now: u64) {
         obs::counter_add!("sim.die_ops", 1u64);
-        let phase = self.cmds[cmd_id as usize].phase;
+        let phase = self.cmds.meta[cmd_id as usize].phase;
         match phase {
             Phase::ArrayRead => {
-                {
-                    let cmd = &mut self.cmds[cmd_id as usize];
-                    let elapsed = now - cmd.t_mark;
-                    cmd.t_mark = now;
-                    cmd.phase = Phase::WaitBusRead;
-                    self.read_breakdown.array_ns += elapsed;
-                    self.read_breakdown.cmds += 1;
-                    self.phases.array.record(elapsed);
-                }
+                let elapsed = {
+                    let t = &mut self.cmds.times[cmd_id as usize];
+                    let elapsed = now - t.t_mark;
+                    t.t_mark = now;
+                    elapsed
+                };
+                self.cmds.meta[cmd_id as usize].phase = Phase::WaitBusRead;
+                self.read_breakdown.array_ns += elapsed;
+                self.read_breakdown.cmds += 1;
+                self.phases.array.record(elapsed);
                 self.request_bus(cmd_id, now);
             }
             Phase::Program => {
-                let elapsed = now - self.cmds[cmd_id as usize].t_mark;
+                let elapsed = now - self.cmds.times[cmd_id as usize].t_mark;
                 self.write_breakdown.array_ns += elapsed;
                 self.write_breakdown.cmds += 1;
                 self.phases.array.record(elapsed);
                 self.complete_cmd(cmd_id, now);
-                let unit = self.cmds[cmd_id as usize].unit as usize;
+                let unit = self.cmds.meta[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
-                self.retire_cmd(cmd_id);
+                self.cmds.free(cmd_id);
             }
             Phase::GcExec => {
-                let gc_ns = self.cmds[cmd_id as usize].gc_duration_ns;
+                let gc_ns = self.cmds.cold[cmd_id as usize].gc_duration_ns;
                 self.gc_busy_ns += gc_ns;
                 self.phases.gc_exec.record(gc_ns);
                 self.complete_cmd(cmd_id, now);
-                let unit = self.cmds[cmd_id as usize].unit as usize;
+                let unit = self.cmds.meta[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
-                self.retire_cmd(cmd_id);
+                self.cmds.free(cmd_id);
             }
             other => unreachable!("DieOpDone in phase {other:?}"),
         }
@@ -1038,7 +1443,7 @@ impl<P: Probe> Simulator<P> {
     fn on_bus_done(&mut self, cmd_id: CmdId, now: u64) {
         // Free the bus and hand it to the next waiter first, so bus
         // utilization is back-to-back.
-        let channel = self.cmds[cmd_id as usize].channel as usize;
+        let channel = self.cmds.meta[cmd_id as usize].channel as usize;
         self.probe.on_bus_release(&BusRelease {
             at_ns: now,
             cmd: cmd_id,
@@ -1051,18 +1456,17 @@ impl<P: Probe> Simulator<P> {
             self.start_transfer(next, now);
         }
 
-        let phase = self.cmds[cmd_id as usize].phase;
+        let phase = self.cmds.meta[cmd_id as usize].phase;
         match phase {
             Phase::XferRead => {
                 self.complete_cmd(cmd_id, now);
-                let unit = self.cmds[cmd_id as usize].unit as usize;
+                let unit = self.cmds.meta[cmd_id as usize].unit as usize;
                 self.release_die(unit, now);
-                self.retire_cmd(cmd_id);
+                self.cmds.free(cmd_id);
             }
             Phase::XferWrite => {
-                let cmd = &mut self.cmds[cmd_id as usize];
-                cmd.phase = Phase::Program;
-                cmd.t_mark = now;
+                self.cmds.meta[cmd_id as usize].phase = Phase::Program;
+                self.cmds.times[cmd_id as usize].t_mark = now;
                 self.events.push(
                     now + self.cfg.write_latency_ns,
                     EventKind::DieOpDone(cmd_id),
@@ -1085,17 +1489,18 @@ impl<P: Probe> Simulator<P> {
     fn complete_cmd(&mut self, cmd_id: CmdId, now: u64) {
         obs::counter_add!("sim.cmds_completed", 1u64);
         self.makespan_ns = self.makespan_ns.max(now);
-        let cmd = self.cmds[cmd_id as usize];
-        let req = cmd.req;
+        let meta = self.cmds.meta[cmd_id as usize];
+        let cold = self.cmds.cold[cmd_id as usize];
+        let req = cold.req;
         self.probe.on_cmd_complete(&CmdComplete {
             at_ns: now,
             cmd: cmd_id,
-            tenant: cmd.tenant,
-            class: cmd.class,
+            tenant: cold.tenant,
+            class: meta.class,
             gc: req == NO_REQ,
-            unit: cmd.unit,
-            channel: cmd.channel,
-            latency_ns: now - cmd.t_spawn,
+            unit: meta.unit,
+            channel: meta.channel,
+            latency_ns: now - self.cmds.times[cmd_id as usize].t_spawn,
         });
         if req == NO_REQ {
             return; // internal GC op
@@ -1124,12 +1529,42 @@ impl<P: Probe> Simulator<P> {
             if self.cfg.host_queue_depth > 0 {
                 debug_assert!(self.in_flight[tenant] > 0);
                 self.in_flight[tenant] -= 1;
-                if let Some(next) = self.host_queues[tenant].pop_front() {
+                if let Some(next) = self.host_dequeue(tenant) {
                     self.in_flight[tenant] += 1;
                     self.events.push(now, EventKind::Admit(next));
                 }
             }
         }
+    }
+
+    /// Appends `r` to `tenant`'s host-side FIFO. The FIFOs are intrusive
+    /// singly-linked lists threaded through `host_next` (one slot per
+    /// trace request), so every tenant queues in the same flat buffer.
+    #[inline]
+    fn host_enqueue(&mut self, tenant: usize, r: ReqId) {
+        self.host_next[r as usize] = NO_REQ;
+        let tail = self.hq_tail[tenant];
+        if tail == NO_REQ {
+            self.hq_head[tenant] = r;
+        } else {
+            self.host_next[tail as usize] = r;
+        }
+        self.hq_tail[tenant] = r;
+    }
+
+    /// Pops the front of `tenant`'s host-side FIFO, if any.
+    #[inline]
+    fn host_dequeue(&mut self, tenant: usize) -> Option<ReqId> {
+        let head = self.hq_head[tenant];
+        if head == NO_REQ {
+            return None;
+        }
+        let next = self.host_next[head as usize];
+        self.hq_head[tenant] = next;
+        if next == NO_REQ {
+            self.hq_tail[tenant] = NO_REQ;
+        }
+        Some(head)
     }
 }
 
@@ -1138,11 +1573,19 @@ impl<P: Probe> Simulator<P> {
 /// For each tenant, its `lpn_space` spreads evenly over the planes its
 /// channel set covers; each plane must keep at least two spare blocks so GC
 /// can make progress.
-fn check_capacity(cfg: &SsdConfig, geo: &Geometry, layout: &TenantLayout) -> Result<(), SimError> {
+fn check_capacity(
+    cfg: &SsdConfig,
+    geo: &Geometry,
+    layout: &TenantLayout,
+    demand: &mut Vec<u64>,
+) -> Result<(), SimError> {
     let pages_per_plane = geo.pages_per_plane() as u64;
     let spare = 2 * cfg.pages_per_block as u64;
     let available = pages_per_plane.saturating_sub(spare);
-    let mut demand = vec![0u64; geo.total_planes()];
+    // `demand` is caller-provided scratch (see `ArenaParts`) so warm
+    // rebuilds validate without allocating.
+    demand.clear();
+    demand.resize(geo.total_planes(), 0);
     for t in layout.iter() {
         let planes_covered =
             (t.channels.len() * geo.dies_per_channel() * geo.planes_per_die()) as u64;
@@ -1411,11 +1854,8 @@ mod tests {
             .unwrap()
             .with_lpn_space_all(256);
         let mut sim = Simulator::new(cfg.clone(), layout).unwrap();
-        sim.schedule_reallocation(Reallocation {
-            at_ns: 1_000_000,
-            entries: vec![(0, vec![1], None)],
-        })
-        .unwrap();
+        sim.schedule_reallocation(Reallocation::new(1_000_000, vec![(0, vec![1], None)]))
+            .unwrap();
         // Writes before the switch land on channel 0, after on channel 1.
         let trace = vec![
             IoRequest::new(0, 0, Op::Write, 0, 1, 0),
@@ -1433,29 +1873,36 @@ mod tests {
         let cfg = small_cfg();
         let layout = TenantLayout::shared(1, &cfg).with_lpn_space_all(64);
         let mut sim = Simulator::new(cfg.clone(), layout).unwrap();
-        sim.schedule_reallocation(Reallocation {
-            at_ns: 100,
-            entries: vec![(0, vec![0], None)],
-        })
-        .unwrap();
+        sim.schedule_reallocation(Reallocation::new(100, vec![(0, vec![0], None)]))
+            .unwrap();
         assert!(sim
-            .schedule_reallocation(Reallocation {
-                at_ns: 50,
-                entries: vec![(0, vec![0], None)],
-            })
+            .schedule_reallocation(Reallocation::new(50, vec![(0, vec![0], None)]))
             .is_err());
         assert!(sim
-            .schedule_reallocation(Reallocation {
-                at_ns: 200,
-                entries: vec![(5, vec![0], None)],
-            })
+            .schedule_reallocation(Reallocation::new(200, vec![(5, vec![0], None)]))
             .is_err());
         assert!(sim
-            .schedule_reallocation(Reallocation {
-                at_ns: 200,
-                entries: vec![(0, vec![99], None)],
-            })
+            .schedule_reallocation(Reallocation::new(200, vec![(0, vec![99], None)]))
             .is_err());
+    }
+
+    #[test]
+    fn reallocation_rows_round_trip_through_the_flat_table() {
+        // The flat span table must read back exactly the rows it was
+        // built from, including empty lists between non-empty ones.
+        let rows: Vec<(usize, Vec<usize>, Option<PageAllocPolicy>)> = vec![
+            (0, vec![0, 1], Some(PageAllocPolicy::Static)),
+            (3, vec![], None),
+            (1, vec![2], Some(PageAllocPolicy::Dynamic)),
+        ];
+        let realloc = Reallocation::new(42, rows.clone());
+        assert_eq!(realloc.at_ns, 42);
+        assert_eq!(realloc.entry_count(), rows.len());
+        let back: Vec<(usize, Vec<usize>, Option<PageAllocPolicy>)> = realloc
+            .entries()
+            .map(|(t, ch, p)| (t, ch.to_vec(), p))
+            .collect();
+        assert_eq!(back, rows);
     }
 
     #[test]
@@ -1919,10 +2366,10 @@ mod tests {
             .probe(&mut rec)
             .build()
             .unwrap();
-        sim.schedule_reallocation(Reallocation {
-            at_ns: 1_000_000,
-            entries: vec![(0, vec![1], Some(PageAllocPolicy::Dynamic))],
-        })
+        sim.schedule_reallocation(Reallocation::new(
+            1_000_000,
+            vec![(0, vec![1], Some(PageAllocPolicy::Dynamic))],
+        ))
         .unwrap();
         let trace = vec![
             IoRequest::new(0, 0, Op::Write, 0, 1, 0),

@@ -1,0 +1,155 @@
+//! Arena-reuse contract: building a simulator out of a recycled
+//! [`SimArena`] must be *observationally invisible*. For every workload
+//! shape and seed, a warm rebuild (arena dirtied by a previous run) must
+//! produce a byte-identical [`flash_sim::SimReport`] and a byte-identical
+//! SSDP probe capture versus a fresh build — and error contracts like
+//! command-slot exhaustion must hold on reused arenas too.
+
+use flash_sim::{
+    EventRecorder, IoRequest, Op, SimArena, SimBuilder, SimError, SimReport, SsdConfig,
+    TenantLayout,
+};
+use simrng::{Rng, SimRng};
+
+fn small_cfg() -> SsdConfig {
+    let mut cfg = SsdConfig::small_test();
+    cfg.channels = 4;
+    cfg
+}
+
+/// Write-dominated traffic hammering a tight logical space on a nearly
+/// full device: remaps dominate, so GC runs throughout.
+fn gc_heavy_trace(seed: u64) -> (TenantLayout, Vec<f64>, Vec<IoRequest>) {
+    let cfg = small_cfg();
+    let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(48);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    for i in 0..600u64 {
+        let tenant = (i % 2) as u16;
+        let op = if rng.gen_bool(0.9) {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        let lpn = rng.gen_range(0u64..48);
+        trace.push(IoRequest::new(i, tenant, op, lpn, 1, i * 2_000));
+    }
+    (layout, vec![0.9, 0.9], trace)
+}
+
+/// Read-dominated traffic over a wider space with light preconditioning.
+fn read_mostly_trace(seed: u64) -> (TenantLayout, Vec<f64>, Vec<IoRequest>) {
+    let cfg = small_cfg();
+    let layout = TenantLayout::shared(2, &cfg).with_lpn_space_all(128);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    for i in 0..600u64 {
+        let tenant = (i % 2) as u16;
+        let op = if rng.gen_bool(0.85) {
+            Op::Read
+        } else {
+            Op::Write
+        };
+        let lpn = rng.gen_range(0u64..128);
+        let pages = 1 + rng.gen_range(0u32..3);
+        trace.push(IoRequest::new(i, tenant, op, lpn, pages, i * 3_000));
+    }
+    (layout, vec![0.3, 0.3], trace)
+}
+
+/// Runs a workload with a recorder attached, either fresh or out of the
+/// given arena, returning the report and the SSDP capture bytes.
+fn run_captured(
+    layout: &TenantLayout,
+    fills: &[f64],
+    trace: &[IoRequest],
+    arena: &mut SimArena,
+) -> (SimReport, Vec<u8>) {
+    let mut rec = EventRecorder::with_capacity(1 << 14);
+    let sim = SimBuilder::new(small_cfg(), layout.clone())
+        .precondition(fills)
+        .probe(&mut rec)
+        .build_with_arena(arena)
+        .expect("valid device");
+    let report = sim.run_reclaim(trace, arena).expect("run succeeds");
+    (report, rec.encode())
+}
+
+#[test]
+fn warm_arena_runs_are_byte_identical_to_fresh_runs() {
+    type Fixture = fn(u64) -> (TenantLayout, Vec<f64>, Vec<IoRequest>);
+    let fixtures: [(&str, Fixture); 2] = [
+        ("gc_heavy", gc_heavy_trace),
+        ("read_mostly", read_mostly_trace),
+    ];
+    for (name, make) in fixtures {
+        for seed in [1u64, 42, 9001] {
+            let (layout, fills, trace) = make(seed);
+            let (fresh_report, fresh_ssdp) =
+                run_captured(&layout, &fills, &trace, &mut SimArena::new());
+
+            // Dirty one arena with *both* workload shapes (different
+            // geometry footprints and GC pressure), then run warm.
+            let mut arena = SimArena::new();
+            for dirty_seed in [7u64, 8] {
+                let (l2, f2, t2) = if dirty_seed % 2 == 0 {
+                    gc_heavy_trace(dirty_seed)
+                } else {
+                    read_mostly_trace(dirty_seed)
+                };
+                let (report, _) = run_captured(&l2, &f2, &t2, &mut arena);
+                arena.recycle_report(report);
+            }
+            let (warm_report, warm_ssdp) = run_captured(&layout, &fills, &trace, &mut arena);
+
+            assert_eq!(
+                fresh_report, warm_report,
+                "{name}/seed {seed}: warm report diverged"
+            );
+            assert_eq!(
+                fresh_ssdp, warm_ssdp,
+                "{name}/seed {seed}: warm SSDP capture diverged"
+            );
+            assert!(
+                !fresh_ssdp.is_empty(),
+                "{name}/seed {seed}: capture must not be trivially empty"
+            );
+        }
+    }
+}
+
+#[test]
+fn gc_heavy_fixture_actually_garbage_collects() {
+    let (layout, fills, trace) = gc_heavy_trace(1);
+    let (report, _) = run_captured(&layout, &fills, &trace, &mut SimArena::new());
+    assert!(
+        report.ftl.gc_invocations > 0,
+        "fixture must exercise the GC path"
+    );
+}
+
+#[test]
+fn cmd_slot_exhaustion_fires_on_a_reused_arena() {
+    let (layout, fills, trace) = read_mostly_trace(3);
+    let mut arena = SimArena::new();
+    // A successful run leaves the arena warm...
+    let (report, _) = run_captured(&layout, &fills, &trace, &mut arena);
+    arena.recycle_report(report);
+    // ...and a slot-limited rebuild from that same arena must still hit
+    // the exhaustion error, not inherit the previous run's open limit.
+    let sim = SimBuilder::new(small_cfg(), layout.clone())
+        .precondition(&fills)
+        .cmd_slot_limit(1)
+        .build_with_arena(&mut arena)
+        .expect("valid device");
+    let err = sim.run_reclaim(&trace, &mut arena).unwrap_err();
+    assert!(
+        matches!(err, SimError::CmdIdsExhausted { limit: 1 }),
+        "expected CmdIdsExhausted, got {err:?}"
+    );
+    // The arena survives the failed run and still produces correct
+    // results afterwards.
+    let (again, _) = run_captured(&layout, &fills, &trace, &mut arena);
+    let (fresh, _) = run_captured(&layout, &fills, &trace, &mut SimArena::new());
+    assert_eq!(again, fresh, "arena must recover after an errored run");
+}

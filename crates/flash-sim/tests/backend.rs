@@ -45,10 +45,7 @@ fn mixed_trace() -> Vec<IoRequest> {
 }
 
 fn realloc_at(at_ns: u64) -> Reallocation {
-    Reallocation {
-        at_ns,
-        entries: vec![(0, vec![0, 1], None), (1, vec![2, 3], None)],
-    }
+    Reallocation::new(at_ns, vec![(0, vec![0, 1], None), (1, vec![2, 3], None)])
 }
 
 fn tmp_target(tag: &str) -> PathBuf {
@@ -120,10 +117,7 @@ fn backends_validate_reallocations_eagerly() {
         let layout = two_tenant_layout(&cfg);
         let mut be = SimBuilder::new(cfg, layout).build_backend(&kind).unwrap();
         let err = be
-            .schedule_reallocation(Reallocation {
-                at_ns: 0,
-                entries: vec![(7, vec![0], None)],
-            })
+            .schedule_reallocation(Reallocation::new(0, vec![(7, vec![0], None)]))
             .unwrap_err();
         assert!(
             matches!(err, SimError::BadReallocation { .. }),

@@ -29,8 +29,8 @@ pub mod seed;
 pub mod summary;
 
 use ann::{Activation, Network};
-use flash_sim::{IoRequest, SsdConfig};
-use parallel::{par_map, PoolConfig};
+use flash_sim::{IoRequest, SimArena, SsdConfig};
+use parallel::{par_map, par_map_init, PoolConfig};
 use simrng::{Rng, SimRng};
 use ssdkeeper::placement::{FleetPlacer, Placement, TenantLoad};
 use ssdkeeper::{ChannelAllocator, Keeper, KeeperConfig, KeeperError, RunSpec};
@@ -266,13 +266,16 @@ fn shard_inputs(
     (mix_chronological(&slot_streams, total), lpn_spaces)
 }
 
-/// Runs one device shard under its keeper and returns its summary.
+/// Runs one device shard under its keeper and returns its summary. The
+/// shard's simulator draws its buffers from `arena`; every shard a
+/// worker runs after its first reuses the same allocation pool.
 fn run_shard(
     cfg: &FleetConfig,
     keeper: &Keeper,
     device: usize,
     placement: &Placement,
     fetch: &(dyn Fn(usize) -> Vec<IoRequest> + Sync),
+    arena: &mut SimArena,
 ) -> Result<ShardSummary, FleetError> {
     let slot_tenants = placement.device_slots(device);
     if slot_tenants.is_empty() {
@@ -287,7 +290,10 @@ fn run_shard(
     }
     obs::span!("fleet_shard");
     let (trace, lpn_spaces) = shard_inputs(cfg, &slot_tenants, fetch);
-    let outcome = keeper.run(RunSpec::adapt_once(&trace, &lpn_spaces).with_metrics())?;
+    let outcome = keeper.run_with_arena(
+        RunSpec::adapt_once(&trace, &lpn_spaces).with_metrics(),
+        arena,
+    )?;
     obs::counter_add!("fleet.shards_done", 1u64);
     obs::counter_add!(
         "fleet.events_observed",
@@ -297,6 +303,9 @@ fn run_shard(
             .expect("with_metrics() guarantees a summary")
             .events_observed
     );
+    let events_processed = outcome.report.events_processed;
+    let makespan_ns = outcome.report.makespan_ns;
+    arena.recycle_report(outcome.report);
     Ok(ShardSummary {
         device,
         strategy: outcome.strategy,
@@ -304,8 +313,8 @@ fn run_shard(
         metrics: outcome
             .metrics
             .expect("with_metrics() guarantees a summary"),
-        events_processed: outcome.report.events_processed,
-        makespan_ns: outcome.report.makespan_ns,
+        events_processed,
+        makespan_ns,
     })
 }
 
@@ -370,8 +379,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetOutcome, FleetError> {
     let device_ids: Vec<usize> = (0..cfg.devices).collect();
     let run_all =
         |placement: &Placement, devices: &[usize]| -> Result<Vec<ShardSummary>, FleetError> {
-            par_map(&cfg.pool, devices, |&d| {
-                run_shard(cfg, &keeper, d, placement, &fetch)
+            // One simulator arena per pool worker: each worker's shards
+            // after the first rebuild their engine allocation-free.
+            par_map_init(&cfg.pool, devices, SimArena::new, |arena, _, &d| {
+                run_shard(cfg, &keeper, d, placement, &fetch, arena)
             })
             .into_iter()
             .collect()

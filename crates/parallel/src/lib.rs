@@ -25,7 +25,7 @@ pub mod chunk;
 pub mod pool;
 
 pub use chunk::{chunk_ranges, Chunk};
-pub use pool::{par_map, par_map_with, PoolConfig};
+pub use pool::{par_map, par_map_init, par_map_with, PoolConfig};
 
 #[cfg(test)]
 mod tests {

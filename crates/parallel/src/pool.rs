@@ -95,39 +95,84 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_init(config, items, || (), |_, i, t| f(i, t))
+}
+
+/// Like [`par_map_with`] but each worker thread owns a mutable state value
+/// built once by `init` and handed to every item that worker claims.
+///
+/// This is the hook for per-worker scratch that is expensive to build —
+/// the strategy learner passes `flash_sim::SimArena::new` so each worker
+/// recycles one simulator allocation pool across all of its runs. Because
+/// the state is per-*worker* (not per-item), `f` must not let results
+/// depend on which items share a state value; an arena only recycles
+/// buffers, so it satisfies this by construction.
+///
+/// With one worker (or one item) everything runs on the calling thread
+/// with a single `init()` state, preserving the sequential degradation of
+/// [`par_map`]. Panic propagation matches [`par_map_with`]: the payload of
+/// the lowest-index failing item is re-raised after all workers drain. A
+/// panic inside `init` itself also propagates, but loses to any item
+/// panic when picking the payload.
+pub fn par_map_init<T, S, R, I, F>(config: &PoolConfig, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
     let workers = config.worker_count().min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     // Each completed item is written into its slot; slots start empty.
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    // `(claim index, payload)` of the earliest panicking item.
+    // `(claim index, payload)` of the earliest panicking item; `init`
+    // failures record `usize::MAX` so any real item failure outranks them.
     let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+
+    let record_panic = |idx: usize, payload: Box<dyn std::any::Any + Send>| {
+        let mut guard = lock_unpoisoned(&first_panic);
+        // Keep the payload of the lowest-index failure so propagation is
+        // deterministic across schedules.
+        if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
+            *guard = Some((idx, payload));
+        }
+        // Park the cursor so siblings stop claiming work.
+        cursor.store(items.len(), Ordering::Relaxed);
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| f(idx, &items[idx]))) {
-                    Ok(value) => *lock_unpoisoned(&slots[idx]) = Some(value),
+            scope.spawn(|| {
+                let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+                    Ok(s) => s,
                     Err(payload) => {
-                        let mut guard = lock_unpoisoned(&first_panic);
-                        // Keep the payload of the lowest-index failure so
-                        // propagation is deterministic across schedules.
-                        if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
-                            *guard = Some((idx, payload));
-                        }
-                        // Park the cursor so siblings stop claiming work.
-                        cursor.store(items.len(), Ordering::Relaxed);
+                        record_panic(usize::MAX, payload);
+                        return;
+                    }
+                };
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
                         break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut state, idx, &items[idx]))) {
+                        Ok(value) => *lock_unpoisoned(&slots[idx]) = Some(value),
+                        Err(payload) => {
+                            record_panic(idx, payload);
+                            break;
+                        }
                     }
                 }
             });
@@ -358,6 +403,65 @@ mod tests {
         .expect_err("all workers panic");
         let idx = caught.downcast::<u64>().expect("u64 payload");
         assert_eq!(*idx, 0);
+    }
+
+    /// Worker state must be built exactly once per participating thread
+    /// and visible to every item that thread claims.
+    #[test]
+    fn init_state_is_per_worker_and_reused() {
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_init(
+            &PoolConfig::with_workers(4),
+            &items,
+            || {
+                INITS.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new()
+            },
+            |scratch, i, &x| {
+                scratch.push(i); // scratch persists across this worker's items
+                x * 2
+            },
+        );
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+        let inits = INITS.load(Ordering::SeqCst);
+        assert!(
+            (1..=4).contains(&inits),
+            "one init per spawned worker, got {inits}"
+        );
+    }
+
+    #[test]
+    fn init_runs_once_on_the_sequential_path() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        let out = par_map_init(
+            &PoolConfig::with_workers(1),
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |acc, _, &x| {
+                *acc += x; // running state survives across items
+                *acc
+            },
+        );
+        assert_eq!(inits.load(Ordering::SeqCst), 1);
+        // Sequential path threads one accumulator through all items.
+        assert_eq!(out.last().copied(), Some((0..16).sum()));
+    }
+
+    #[test]
+    #[should_panic(expected = "init dies")]
+    fn init_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map_init(
+            &PoolConfig::with_workers(4),
+            &items,
+            || -> u32 { panic!("init dies") },
+            |_, _, &x| x,
+        );
     }
 
     #[test]

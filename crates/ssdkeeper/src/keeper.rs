@@ -17,7 +17,9 @@ use flash_sim::probe::{
     KeeperDecision, NullProbe, Probe, Tee, DECISION_CLASSES, DECISION_FEATURES,
 };
 use flash_sim::sim::Reallocation;
-use flash_sim::{BackendKind, IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
+use flash_sim::{
+    BackendKind, IoRequest, SimArena, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout,
+};
 use workloads::{IntensityScale, ObservedFeatures};
 
 /// Errors surfaced by [`Keeper::run`].
@@ -236,6 +238,19 @@ impl Keeper {
     /// probe observes every engine hook plus the keeper's own decision
     /// events (feature vector + predicted class probabilities).
     pub fn run(&self, spec: RunSpec<'_>) -> Result<RunOutcome, KeeperError> {
+        self.run_with_arena(spec, &mut SimArena::new())
+    }
+
+    /// [`Keeper::run`] drawing the engine's run-path buffers from a
+    /// caller-owned [`SimArena`]. Callers replaying many sessions (the
+    /// fleet shard loop, the label farm) keep one arena per worker so
+    /// every session after the first builds its simulator without heap
+    /// allocation. Results are byte-identical to [`Keeper::run`].
+    pub fn run_with_arena(
+        &self,
+        spec: RunSpec<'_>,
+        arena: &mut SimArena,
+    ) -> Result<RunOutcome, KeeperError> {
         obs::span!("keeper_run");
         obs::counter_add!("keeper.runs", 1u64);
         if spec.lpn_spaces.is_empty() || spec.lpn_spaces.len() > TENANTS {
@@ -259,11 +274,11 @@ impl Keeper {
         if collect_metrics {
             let mut metrics = MetricsProbe::new(self.config.observe_window_ns);
             let mut tee = Tee::new(probe, &mut metrics);
-            let mut out = self.dispatch(trace, lpn_spaces, mode, &backend, &mut tee)?;
+            let mut out = self.dispatch(trace, lpn_spaces, mode, &backend, &mut tee, arena)?;
             out.metrics = Some(metrics.into_summary());
             Ok(out)
         } else {
-            self.dispatch(trace, lpn_spaces, mode, &backend, probe)
+            self.dispatch(trace, lpn_spaces, mode, &backend, probe, arena)
         }
     }
 
@@ -274,12 +289,15 @@ impl Keeper {
         mode: RunMode,
         backend: &BackendKind,
         probe: &mut dyn Probe,
+        arena: &mut SimArena,
     ) -> Result<RunOutcome, KeeperError> {
         match mode {
-            RunMode::Fixed(strategy) => self.run_fixed(trace, lpn_spaces, strategy, backend, probe),
-            RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, backend, probe),
+            RunMode::Fixed(strategy) => {
+                self.run_fixed(trace, lpn_spaces, strategy, backend, probe, arena)
+            }
+            RunMode::AdaptOnce => self.run_adapt_once(trace, lpn_spaces, backend, probe, arena),
             RunMode::Periodic { window_ns } => {
-                self.run_periodic(trace, lpn_spaces, window_ns, backend, probe)
+                self.run_periodic(trace, lpn_spaces, window_ns, backend, probe, arena)
             }
         }
     }
@@ -295,6 +313,7 @@ impl Keeper {
         reallocations: Vec<Reallocation>,
         trace: &[IoRequest],
         probe: &mut dyn Probe,
+        arena: &mut SimArena,
     ) -> Result<SimReport, KeeperError> {
         obs::span!("keeper_execute");
         obs::counter_add!("keeper.reallocs_planned", reallocations.len() as u64);
@@ -302,7 +321,7 @@ impl Keeper {
         for r in reallocations {
             be.schedule_reallocation(r)?;
         }
-        Ok(be.run(trace, probe)?)
+        Ok(be.run_with_arena(trace, probe, arena)?)
     }
 
     /// The probe-facing form of a decision: network input vector plus the
@@ -336,6 +355,7 @@ impl Keeper {
         strategy: Strategy,
         backend: &BackendKind,
         probe: &mut dyn Probe,
+        arena: &mut SimArena,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
         let obs = ObservedFeatures::collect(trace, tenants, self.config.observe_window_ns);
@@ -353,7 +373,7 @@ impl Keeper {
         for (t, &space) in lpn_spaces.iter().enumerate() {
             layout = layout.with_lpn_space(t, space).with_policy(t, policies[t]);
         }
-        let report = self.execute(backend, layout, Vec::new(), trace, probe)?;
+        let report = self.execute(backend, layout, Vec::new(), trace, probe, arena)?;
         Ok(RunOutcome {
             report,
             strategy,
@@ -371,6 +391,7 @@ impl Keeper {
         lpn_spaces: &[u64],
         backend: &BackendKind,
         probe: &mut dyn Probe,
+        arena: &mut SimArena,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
         let t_ns = self.config.observe_window_ns;
@@ -393,15 +414,14 @@ impl Keeper {
         }
 
         let policies = hybrid::policies(&rw_chars, self.config.hybrid);
-        let realloc = Reallocation {
-            at_ns: t_ns,
-            entries: lists
+        let realloc = Reallocation::new(
+            t_ns,
+            lists
                 .into_iter()
                 .enumerate()
-                .map(|(t, channels)| (t, channels, Some(policies[t])))
-                .collect(),
-        };
-        let report = self.execute(backend, layout, vec![realloc], trace, probe)?;
+                .map(|(t, channels)| (t, channels, Some(policies[t]))),
+        );
+        let report = self.execute(backend, layout, vec![realloc], trace, probe, arena)?;
         let decisions = vec![Decision {
             at_ns: t_ns,
             features: features.clone(),
@@ -432,6 +452,7 @@ impl Keeper {
         window_ns: u64,
         backend: &BackendKind,
         probe: &mut dyn Probe,
+        arena: &mut SimArena,
     ) -> Result<RunOutcome, KeeperError> {
         let tenants = lpn_spaces.len();
         let t_ns = window_ns;
@@ -485,14 +506,13 @@ impl Keeper {
                 let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
                 let lists = strategy.assign_channels(&rw_chars, &self.config.ssd);
                 let policies = hybrid::policies(&rw_chars, self.config.hybrid);
-                reallocations.push(Reallocation {
-                    at_ns: boundary,
-                    entries: lists
+                reallocations.push(Reallocation::new(
+                    boundary,
+                    lists
                         .into_iter()
                         .enumerate()
-                        .map(|(t, channels)| (t, channels, Some(policies[t])))
-                        .collect(),
-                });
+                        .map(|(t, channels)| (t, channels, Some(policies[t]))),
+                ));
                 probe.on_keeper_decision(&self.decision_event(boundary, features, strategy));
                 decisions.push(Decision {
                     at_ns: boundary,
@@ -504,7 +524,7 @@ impl Keeper {
         }
 
         drop(plan_span);
-        let report = self.execute(backend, layout, reallocations, trace, probe)?;
+        let report = self.execute(backend, layout, reallocations, trace, probe, arena)?;
         Ok(RunOutcome {
             report,
             strategy: current.unwrap_or(Strategy::Shared),

@@ -8,7 +8,7 @@
 
 use crate::hybrid;
 use crate::strategy::Strategy;
-use flash_sim::{IoRequest, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
+use flash_sim::{IoRequest, SimArena, SimBuilder, SimError, SimReport, SsdConfig, TenantLayout};
 use parallel::PoolConfig;
 use workloads::ObservedFeatures;
 
@@ -77,6 +77,28 @@ pub fn run_under_strategy(
     lpn_spaces: &[u64],
     eval: &EvalConfig,
 ) -> Result<SimReport, SimError> {
+    run_under_strategy_with(
+        trace,
+        strategy,
+        rw_chars,
+        lpn_spaces,
+        eval,
+        &mut SimArena::new(),
+    )
+}
+
+/// [`run_under_strategy`] drawing the simulator's buffers from a
+/// caller-owned [`SimArena`] — the label farm's inner loop, where one
+/// arena per worker makes every run after the first allocation-free.
+/// Reports are byte-identical to [`run_under_strategy`].
+pub fn run_under_strategy_with(
+    trace: &[IoRequest],
+    strategy: Strategy,
+    rw_chars: &[u8],
+    lpn_spaces: &[u64],
+    eval: &EvalConfig,
+    arena: &mut SimArena,
+) -> Result<SimReport, SimError> {
     assert_eq!(
         rw_chars.len(),
         lpn_spaces.len(),
@@ -92,8 +114,8 @@ pub fn run_under_strategy(
         layout = layout.with_lpn_space(t, space).with_policy(t, policy);
     }
     SimBuilder::new(eval.ssd.clone(), layout)
-        .build()?
-        .run(trace)
+        .build_with_arena(arena)?
+        .run_reclaim(trace, arena)
 }
 
 /// Evaluates every strategy in the `tenants`-tenant space on `trace`.
@@ -110,17 +132,68 @@ pub fn evaluate_all(
     let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
     let strategies = Strategy::all_for_tenants(tenants);
 
-    let results = parallel::par_map(&eval.pool, &strategies, |&strategy| {
-        run_under_strategy(trace, strategy, &rw_chars, lpn_spaces, eval).map(|report| {
-            StrategyEval {
-                strategy,
-                read_us: report.read.mean_us(),
-                write_us: report.write.mean_us(),
-                metric_us: report.total_latency_metric_us(),
-            }
-        })
-    });
+    // One arena per pool worker: each worker recycles a single simulator
+    // allocation pool across every strategy it claims, so only its first
+    // run pays for buffer construction.
+    let results = parallel::par_map_init(
+        &eval.pool,
+        &strategies,
+        SimArena::new,
+        |arena, _, &strategy| {
+            run_under_strategy_with(trace, strategy, &rw_chars, lpn_spaces, eval, arena).map(
+                |report| {
+                    let row = StrategyEval {
+                        strategy,
+                        read_us: report.read.mean_us(),
+                        write_us: report.write.mean_us(),
+                        metric_us: report.total_latency_metric_us(),
+                    };
+                    arena.recycle_report(report);
+                    row
+                },
+            )
+        },
+    );
     results.into_iter().collect()
+}
+
+/// [`evaluate_all`] with the strategy sweep pinned to one caller-owned
+/// [`SimArena`]. Only meaningful for sequential pools (one worker): a
+/// parallel pool cannot share one arena, so this delegates to
+/// [`evaluate_all`]'s per-worker arenas when `eval.pool` has more. The
+/// label farm uses this from its outer fan-out — sample-level workers each
+/// own an arena and sweep strategies sequentially through it.
+pub fn evaluate_all_with(
+    trace: &[IoRequest],
+    tenants: usize,
+    lpn_spaces: &[u64],
+    eval: &EvalConfig,
+    arena: &mut SimArena,
+) -> Result<Vec<StrategyEval>, SimError> {
+    if eval.pool.worker_count() > 1 {
+        return evaluate_all(trace, tenants, lpn_spaces, eval);
+    }
+    let obs = ObservedFeatures::collect(trace, tenants, u64::MAX);
+    let rw_chars: Vec<u8> = (0..tenants).map(|t| obs.rw_characteristic(t)).collect();
+    let strategies = Strategy::all_for_tenants(tenants);
+
+    strategies
+        .iter()
+        .map(|&strategy| {
+            run_under_strategy_with(trace, strategy, &rw_chars, lpn_spaces, eval, arena).map(
+                |report| {
+                    let row = StrategyEval {
+                        strategy,
+                        read_us: report.read.mean_us(),
+                        write_us: report.write.mean_us(),
+                        metric_us: report.total_latency_metric_us(),
+                    };
+                    arena.recycle_report(report);
+                    row
+                },
+            )
+        })
+        .collect()
 }
 
 /// The argmin-latency strategy (ties go to the earlier index, i.e. the

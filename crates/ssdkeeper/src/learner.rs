@@ -10,11 +10,13 @@
 
 use crate::allocator::{ChannelAllocator, DecisionScratch};
 use crate::features::{FeatureVector, FEATURE_DIM, TENANTS};
-use crate::label::{best_strategy_with_tolerance, evaluate_all, EvalConfig, DOMAIN_LABEL_SAMPLE};
+use crate::label::{
+    best_strategy_with_tolerance, evaluate_all_with, EvalConfig, DOMAIN_LABEL_SAMPLE,
+};
 use crate::strategy::Strategy;
 use ann::prelude::*;
 use ann::train::TrainHistory;
-use flash_sim::IoRequest;
+use flash_sim::{IoRequest, SimArena};
 use parallel::PoolConfig;
 use simrng::Rng;
 use workloads::{generate_tenant_stream, mix_chronological, TenantSpec};
@@ -421,8 +423,16 @@ impl Learner {
     /// Labels one mixed workload: evaluates every strategy and returns the
     /// sample (Algorithm 1, one loop iteration).
     pub fn label_workload(&self, trace: &[IoRequest]) -> LabelledSample {
+        self.label_workload_with(trace, &mut SimArena::new())
+    }
+
+    /// [`Learner::label_workload`] drawing every strategy run's simulator
+    /// buffers from a caller-owned [`SimArena`] (sequential sweeps only;
+    /// a parallel [`EvalConfig::pool`] uses per-worker arenas instead).
+    /// Labels are byte-identical to [`Learner::label_workload`].
+    pub fn label_workload_with(&self, trace: &[IoRequest], arena: &mut SimArena) -> LabelledSample {
         let lpn_spaces = vec![self.spec.lpn_space; TENANTS];
-        let evals = evaluate_all(trace, TENANTS, &lpn_spaces, &self.spec.eval)
+        let evals = evaluate_all_with(trace, TENANTS, &lpn_spaces, &self.spec.eval, arena)
             .expect("synthetic workloads stay within device capacity");
         let best = best_strategy_with_tolerance(&evals, self.spec.label_tolerance);
         let features = FeatureVector::from_trace(trace, TENANTS, self.spec.max_total_iops);
@@ -473,11 +483,16 @@ impl Learner {
             ..self.spec.clone()
         });
         let indices: Vec<u64> = (0..self.spec.samples as u64).collect();
-        let samples = parallel::par_map_with(pool, &indices, |_, &i| {
+        // One SimArena per farm worker: the inner 42-strategy sweep is
+        // sequential, so every simulator run a worker performs after its
+        // first recycles the same allocation pool. Worker-count
+        // invariance holds because an arena only recycles buffers — it
+        // never changes simulated outcomes.
+        let samples = parallel::par_map_init(pool, &indices, SimArena::new, |arena, _, &i| {
             let mut rng =
                 simrng::SimRng::seed_from_u64(simrng::derive_seed(seed, DOMAIN_LABEL_SAMPLE, i));
             let (trace, _) = inner.sample_mixed_workload(&mut rng);
-            inner.label_workload(&trace)
+            inner.label_workload_with(&trace, arena)
         });
         LabelledDataset {
             samples,

@@ -113,8 +113,8 @@ pub fn render_top(stacks: &FoldedStacks, top: usize) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "{:<12} {:>12} {:>7}  {}",
-        "self_ms", "total_ms", "self%", "path"
+        "{:<12} {:>12} {:>7}  path",
+        "self_ms", "total_ms", "self%"
     );
     let denom = root_ns.max(1) as f64;
     for f in frames.iter().take(top) {

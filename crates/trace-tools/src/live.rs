@@ -59,13 +59,13 @@ fn numbers_of(obj: &Json, key: &str, line_no: usize) -> Result<Vec<(String, f64)
 pub fn parse_stream(text: &str) -> Result<LiveSummary, String> {
     let mut summary = LiveSummary::default();
     let mut max_rates: Vec<(String, f64)> = Vec::new();
-    let mut expected_seq = 0u64;
     let lines: Vec<&str> = text.lines().collect();
     if lines.is_empty() {
         return Err("empty stream: no snapshots".into());
     }
     for (i, line) in lines.iter().enumerate() {
         let line_no = i + 1;
+        let expected_seq = i as u64;
         let obj = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
         let version = obj
             .get("ssdkeeper_telemetry")
@@ -85,7 +85,6 @@ pub fn parse_stream(text: &str) -> Result<LiveSummary, String> {
                 "line {line_no}: seq {seq}, expected {expected_seq}"
             ));
         }
-        expected_seq += 1;
         let elapsed_ms = obj
             .get("elapsed_ms")
             .and_then(Json::as_num)

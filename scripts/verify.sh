@@ -12,6 +12,23 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+# Lint gate: the workspace must be clippy-clean at -D warnings (skipped
+# only where the component isn't installed).
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint gate"
+fi
+
+# Allocation-discipline gate: a counting global allocator asserts the
+# steady-state event loop allocates nothing after warmup, and that a
+# full rebuild+rerun out of a recycled SimArena performs zero heap
+# allocations. Runs in the workspace pass above too; kept explicit so a
+# failure names the memory-discipline contract.
+echo "==> zero-warm-allocation check (alloc_discipline)"
+cargo test -q --offline -p flash-sim --test alloc_discipline
+
 # Event-core oracle gate: the timer-wheel EventQueue must serve the exact
 # (time, seq) sequence a reference binary heap serves over seeded random
 # interleavings — same-tick bursts, horizon overflow, and the engine's

@@ -127,13 +127,13 @@ fn gc_wear_realloc_report() -> SimReport {
         .with_policy(0, PageAllocPolicy::Dynamic);
     let mut sim = Simulator::new(cfg, layout).unwrap();
     sim.precondition(&[1.0, 1.0]).unwrap();
-    sim.schedule_reallocation(Reallocation {
-        at_ns: 30_000_000,
-        entries: vec![
+    sim.schedule_reallocation(Reallocation::new(
+        30_000_000,
+        vec![
             (0, vec![0, 1, 2, 3], Some(PageAllocPolicy::Dynamic)),
             (1, vec![4, 5, 6, 7], Some(PageAllocPolicy::Static)),
         ],
-    })
+    ))
     .unwrap();
     sim.run(&trace).unwrap()
 }

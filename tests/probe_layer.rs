@@ -59,13 +59,13 @@ fn gc_wear_realloc_report(probe: Option<&mut EventRecorder>) -> SimReport {
         .with_lpn_space(0, 6144)
         .with_lpn_space(1, 3072)
         .with_policy(0, PageAllocPolicy::Dynamic);
-    let realloc = Reallocation {
-        at_ns: 30_000_000,
-        entries: vec![
+    let realloc = Reallocation::new(
+        30_000_000,
+        vec![
             (0, vec![0, 1, 2, 3], Some(PageAllocPolicy::Dynamic)),
             (1, vec![4, 5, 6, 7], Some(PageAllocPolicy::Static)),
         ],
-    };
+    );
     let builder = SimBuilder::new(cfg, layout).precondition(&[1.0, 1.0]);
     match probe {
         Some(rec) => {

@@ -143,11 +143,8 @@ fn reads_follow_data_after_reallocation() {
         .with_lpn_space_all(256);
     let _ = TenantLayout::shared(1, &cfg); // type in scope
     let mut sim = Simulator::new(cfg, layout).unwrap();
-    sim.schedule_reallocation(Reallocation {
-        at_ns: 1_000_000,
-        entries: vec![(0, vec![7], None)],
-    })
-    .unwrap();
+    sim.schedule_reallocation(Reallocation::new(1_000_000, vec![(0, vec![7], None)]))
+        .unwrap();
     let mut trace: Vec<IoRequest> = (0..64)
         .map(|i| IoRequest::new(i, 0, Op::Write, i, 1, i * 1_000))
         .collect();
